@@ -1,0 +1,25 @@
+"""Ablation: the resolvent selection rule (Section 3.1's two criteria).
+
+The paper selects, for each prohibited value, the *smallest* violated
+nogood, breaking ties toward the *highest-priority* one. This benchmark
+compares that rule against dropping the priority tie-break ("size-only")
+and against the anti-rule that picks the largest nogood ("largest") — the
+latter shows why small nogoods matter: bloated resolvents prune less and
+cost more to check.
+"""
+
+import pytest
+
+from _common import SCALE, bench_custom_cell
+
+from repro.algorithms.registry import awc
+from repro.learning.resolvent import ResolventLearning
+
+N, INSTANCES, INITS = SCALE.coloring[-1]
+
+
+@pytest.mark.parametrize("tie_break", ["paper", "size-only", "largest"])
+def test_resolvent_tie_break(benchmark, tie_break):
+    spec = awc(ResolventLearning(tie_break))
+    cell = bench_custom_cell(benchmark, "d3c", N, INSTANCES, INITS, spec)
+    assert cell.num_trials == INSTANCES * INITS

@@ -1,0 +1,32 @@
+"""Figure 2: estimated efficiency (total time-units vs communication delay).
+
+Measures AWC+4thRslv and DB on the smallest 3ONESAT cell of the selected
+scale, evaluates ``total(delay) = maxcck + cycle * delay`` for both, and
+records the crossover delay — the point past which AWC's learning pays for
+its computation. The paper quotes ≈50 time-units at n=50.
+"""
+
+import pytest
+
+from _common import SCALE, SEED
+
+from repro.experiments.figure2 import run_figure2
+
+
+def test_figure2(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_figure2(scale=SCALE, seed=SEED), rounds=1, iterations=1
+    )
+    benchmark.extra_info.update(
+        scale=SCALE.name,
+        awc_cycle=round(result.awc.cycle, 1),
+        awc_maxcck=round(result.awc.maxcck, 1),
+        db_cycle=round(result.db.cycle, 1),
+        db_maxcck=round(result.db.maxcck, 1),
+        crossover=(
+            round(result.crossover, 1) if result.crossover is not None else None
+        ),
+    )
+    # The structural fact behind the figure: DB's delay coefficient (cycle)
+    # is larger, so its line is steeper.
+    assert result.db.cycle > result.awc.cycle

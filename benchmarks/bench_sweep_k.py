@@ -1,0 +1,35 @@
+"""Ablation: the size-bound sweep behind Tables 5–7's "best k" choices.
+
+The paper picks 3rdRslv for coloring, 5thRslv for 3SAT-GEN and 4thRslv for
+3ONESAT-GEN by trying values; this benchmark runs that sweep per family
+and records which k the empirical procedure selects at the current scale.
+"""
+
+import pytest
+
+from _common import SCALE, SEED, record_cell
+
+from repro.experiments.sweep import best_bound, sweep_size_bound
+
+
+@pytest.mark.parametrize("family", ["d3c", "d3s", "d3s1"])
+def test_size_bound_sweep(benchmark, family):
+    table = benchmark.pedantic(
+        lambda: sweep_size_bound(family, scale=SCALE, seed=SEED),
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info.update(
+        scale=SCALE.name,
+        family=family,
+        best=best_bound(table),
+        rows={
+            row.label: {
+                "cycle": round(row.cycle, 1),
+                "maxcck": round(row.maxcck, 1),
+                "percent": round(row.percent, 1),
+            }
+            for row in table.rows
+        },
+    )
+    assert table.rows

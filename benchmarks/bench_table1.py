@@ -1,0 +1,19 @@
+"""Table 1: learning methods (Rslv / Mcs / No) on distributed 3-coloring.
+
+Paper shape: Rslv ≈ Mcs on cycle; Rslv clearly lower on maxcck; No learning
+far worse on cycle, with completion dropping as n grows.
+"""
+
+import pytest
+
+from _common import bench_cell, cell_id, table_cells
+
+CELLS = table_cells(1)
+
+
+@pytest.mark.parametrize(
+    "family,n,instances,inits,label", CELLS, ids=[cell_id(c) for c in CELLS]
+)
+def test_table1_cell(benchmark, family, n, instances, inits, label):
+    cell = bench_cell(benchmark, family, n, instances, inits, label)
+    assert cell.num_trials == instances * inits

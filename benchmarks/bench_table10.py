@@ -1,0 +1,19 @@
+"""Table 10: AWC+4thRslv vs distributed breakout on 3ONESAT-GEN instances.
+
+Paper shape: the starkest cycle gap of the three comparisons — DB's
+completion degrades on unique-solution instances (97 %, then 69 % at the
+paper's n=200) while AWC+4thRslv stays at 100 %.
+"""
+
+import pytest
+
+from _common import bench_cell, cell_id, table_cells
+
+CELLS = table_cells(10)
+
+
+@pytest.mark.parametrize(
+    "family,n,instances,inits,label", CELLS, ids=[cell_id(c) for c in CELLS]
+)
+def test_table10_cell(benchmark, family, n, instances, inits, label):
+    bench_cell(benchmark, family, n, instances, inits, label)

@@ -1,0 +1,19 @@
+"""Table 2: learning methods (Rslv / Mcs / No) on distributed 3SAT (3SAT-GEN).
+
+Paper shape: same as Table 1 — learning slashes cycles, Rslv beats Mcs on
+maxcck — with No learning's completion degrading faster than on coloring.
+"""
+
+import pytest
+
+from _common import bench_cell, cell_id, table_cells
+
+CELLS = table_cells(2)
+
+
+@pytest.mark.parametrize(
+    "family,n,instances,inits,label", CELLS, ids=[cell_id(c) for c in CELLS]
+)
+def test_table2_cell(benchmark, family, n, instances, inits, label):
+    cell = bench_cell(benchmark, family, n, instances, inits, label)
+    assert cell.num_trials == instances * inits

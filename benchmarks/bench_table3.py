@@ -1,0 +1,20 @@
+"""Table 3: learning methods on distributed 3SAT (3ONESAT-GEN).
+
+Unique-solution instances: Mcs is slightly better on cycle (small implicit
+nogoods reward the subset search) but Rslv still wins maxcck; No learning
+collapses (0 % at the paper's n=200).
+"""
+
+import pytest
+
+from _common import bench_cell, cell_id, table_cells
+
+CELLS = table_cells(3)
+
+
+@pytest.mark.parametrize(
+    "family,n,instances,inits,label", CELLS, ids=[cell_id(c) for c in CELLS]
+)
+def test_table3_cell(benchmark, family, n, instances, inits, label):
+    cell = bench_cell(benchmark, family, n, instances, inits, label)
+    assert cell.num_trials == instances * inits

@@ -1,0 +1,32 @@
+"""Table 4: redundant nogood generation, Rslv/rec vs Rslv/norec.
+
+Paper shape: without recording, agents regenerate the same nogoods orders
+of magnitude more often — the mechanism behind learning's cycle savings.
+"""
+
+import pytest
+
+from _common import SCALE, bench_cell
+
+FAMILIES = ("d3c", "d3s", "d3s1")
+LABELS = ("AWC+Rslv/rec", "AWC+Rslv/norec")
+
+CELLS = [
+    (family, n, instances, inits, label)
+    for family in FAMILIES
+    for (n, instances, inits) in SCALE.cells_for(family)
+    for label in LABELS
+]
+
+
+@pytest.mark.parametrize(
+    "family,n,instances,inits,label",
+    CELLS,
+    ids=[f"{c[0]}-n{c[1]}-{c[4]}" for c in CELLS],
+)
+def test_table4_cell(benchmark, family, n, instances, inits, label):
+    cell = bench_cell(benchmark, family, n, instances, inits, label)
+    benchmark.extra_info.update(
+        redundant=round(cell.mean_redundant_generations, 1),
+        generated=round(cell.mean_generated, 1),
+    )

@@ -1,0 +1,18 @@
+"""Table 5: size-bounded learning (Rslv / 3rdRslv / 4thRslv) on 3-coloring.
+
+Paper shape: 3rdRslv matches Rslv on cycle while cutting maxcck roughly in
+half — the sweet spot for coloring's naturally small nogoods.
+"""
+
+import pytest
+
+from _common import bench_cell, cell_id, table_cells
+
+CELLS = table_cells(5)
+
+
+@pytest.mark.parametrize(
+    "family,n,instances,inits,label", CELLS, ids=[cell_id(c) for c in CELLS]
+)
+def test_table5_cell(benchmark, family, n, instances, inits, label):
+    bench_cell(benchmark, family, n, instances, inits, label)

@@ -1,0 +1,18 @@
+"""Table 6: size-bounded learning (Rslv / 4thRslv / 5thRslv) on 3SAT-GEN.
+
+Paper shape: too tight a bound (4thRslv) hurts on hard large-n instances —
+they need bigger recorded nogoods — while 5thRslv cuts maxcck safely.
+"""
+
+import pytest
+
+from _common import bench_cell, cell_id, table_cells
+
+CELLS = table_cells(6)
+
+
+@pytest.mark.parametrize(
+    "family,n,instances,inits,label", CELLS, ids=[cell_id(c) for c in CELLS]
+)
+def test_table6_cell(benchmark, family, n, instances, inits, label):
+    bench_cell(benchmark, family, n, instances, inits, label)

@@ -1,0 +1,18 @@
+"""Table 7: size-bounded learning (Rslv / 4thRslv / 5thRslv) on 3ONESAT-GEN.
+
+Paper shape: many small implicit nogoods make large recorded nogoods
+redundant, so 4thRslv wins maxcck without hurting cycle.
+"""
+
+import pytest
+
+from _common import bench_cell, cell_id, table_cells
+
+CELLS = table_cells(7)
+
+
+@pytest.mark.parametrize(
+    "family,n,instances,inits,label", CELLS, ids=[cell_id(c) for c in CELLS]
+)
+def test_table7_cell(benchmark, family, n, instances, inits, label):
+    bench_cell(benchmark, family, n, instances, inits, label)

@@ -1,0 +1,18 @@
+"""Table 8: AWC+3rdRslv vs distributed breakout on distributed 3-coloring.
+
+Paper shape: AWC needs fewer cycles in every cell; DB needs fewer checks
+(it never accumulates nogoods).
+"""
+
+import pytest
+
+from _common import bench_cell, cell_id, table_cells
+
+CELLS = table_cells(8)
+
+
+@pytest.mark.parametrize(
+    "family,n,instances,inits,label", CELLS, ids=[cell_id(c) for c in CELLS]
+)
+def test_table8_cell(benchmark, family, n, instances, inits, label):
+    bench_cell(benchmark, family, n, instances, inits, label)

@@ -1,0 +1,17 @@
+"""Table 9: AWC+5thRslv vs distributed breakout on 3SAT-GEN instances.
+
+Paper shape: as Table 8 — AWC wins cycle everywhere, DB wins maxcck.
+"""
+
+import pytest
+
+from _common import bench_cell, cell_id, table_cells
+
+CELLS = table_cells(9)
+
+
+@pytest.mark.parametrize(
+    "family,n,instances,inits,label", CELLS, ids=[cell_id(c) for c in CELLS]
+)
+def test_table9_cell(benchmark, family, n, instances, inits, label):
+    bench_cell(benchmark, family, n, instances, inits, label)

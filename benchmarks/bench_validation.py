@@ -1,0 +1,37 @@
+"""Extension: empirical validation of Figure 2's linear delay model.
+
+Runs AWC and DB on actual fixed-delay networks and records how far the
+measured cycle growth deviates from the model's ``cycle × delay`` term.
+"""
+
+import pytest
+
+from _common import SCALE, SEED
+
+from repro.algorithms.registry import algorithm_by_name
+from repro.experiments.validation import validate_delay_model
+
+
+@pytest.mark.parametrize("name", ["AWC+Rslv", "DB"])
+def test_delay_model_validation(benchmark, name):
+    result = benchmark.pedantic(
+        lambda: validate_delay_model(
+            algorithm=algorithm_by_name(name),
+            delays=(2, 3, 4),
+            scale=SCALE,
+            seed=SEED,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info.update(
+        scale=SCALE.name,
+        algorithm=name,
+        baseline_cycles=round(result.baseline_cycles, 1),
+        ratios={
+            point.delay: round(point.ratio, 2) for point in result.points
+        },
+        worst_error=round(result.worst_ratio_error, 2),
+    )
+    # The model's defining property: delay makes cycles grow.
+    assert result.points[-1].measured_cycles > result.baseline_cycles

@@ -1,0 +1,52 @@
+"""Compare nogood-learning methods on one workload — Table 1 in miniature.
+
+Runs AWC with resolvent-based learning (Rslv), minimal-conflict-set
+learning (Mcs), size-bounded learning (3rdRslv) and no learning (No), plus
+the distributed breakout (DB), on the same distributed 3-coloring cell, and
+prints the paper's two cost measures side by side.
+
+Run:  python examples/learning_comparison.py
+"""
+
+from repro import awc, db, run_cell
+from repro.problems.coloring import random_coloring_instance
+
+N = 40
+INSTANCES = 4
+INITS = 4
+
+
+def main() -> None:
+    instances = [
+        random_coloring_instance(N, seed=seed).to_discsp()
+        for seed in range(INSTANCES)
+    ]
+    print(
+        f"distributed 3-coloring, n={N}, m={instances[0].csp.nogoods and len(instances[0].csp.nogoods)//3} arcs, "
+        f"{INSTANCES} instances x {INITS} initial-value sets\n"
+    )
+    print(f"{'algorithm':14s} {'cycle':>8s} {'maxcck':>10s} {'%':>5s}")
+    print("-" * 40)
+    for spec in (
+        awc("Rslv"),
+        awc("Mcs"),
+        awc("3rdRslv"),
+        awc("No"),
+        db(),
+    ):
+        cell = run_cell(
+            instances, spec, inits_per_instance=INITS, master_seed=0, n=N
+        )
+        print(
+            f"{spec.name:14s} {cell.mean_cycle:8.1f} "
+            f"{cell.mean_maxcck:10.1f} {cell.percent_solved:5.0f}"
+        )
+    print(
+        "\nExpected shape (paper, Tables 1/5/8): learning slashes cycles; "
+        "Rslv needs fewer checks than Mcs; the size bound trims maxcck; "
+        "DB uses the fewest checks but the most cycles."
+    )
+
+
+if __name__ == "__main__":
+    main()

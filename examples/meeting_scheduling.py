@@ -1,0 +1,54 @@
+"""Distributed meeting scheduling — a MAS application modeled as a DisCSP.
+
+Each meeting is owned by one agent (its organizer's calendar process); two
+meetings sharing a participant must land in different slots. The agents
+negotiate a consistent schedule with AWC + resolvent learning, never
+pooling their calendars in one place — the privacy argument the paper makes
+for distributed algorithms in Section 2.2.
+
+Run:  python examples/meeting_scheduling.py
+"""
+
+from repro import awc, run_trial
+from repro.problems import meeting_scheduling
+
+MEETINGS = {
+    "standup": ["ana", "bo", "casey"],
+    "api-design": ["bo", "dev"],
+    "retro": ["ana", "casey"],
+    "1:1 ana/dev": ["ana", "dev"],
+    "launch-review": ["casey", "dev"],
+    "hiring-sync": ["bo", "ana"],
+}
+
+SLOTS = ["Mon 09:00", "Mon 10:00", "Mon 11:00", "Mon 13:00"]
+
+
+def main() -> None:
+    schedule = meeting_scheduling(MEETINGS, SLOTS)
+    print(f"{len(MEETINGS)} meetings, {len(SLOTS)} slots")
+    print(f"problem: {schedule.problem}\n")
+
+    result = run_trial(schedule.problem, awc("Rslv"), seed=3)
+    assert result.solved, "no consistent schedule found"
+
+    plan = schedule.decode(result.assignment)
+    for meeting in sorted(plan):
+        attendees = ", ".join(MEETINGS[meeting])
+        print(f"  {plan[meeting]:10s}  {meeting:14s} ({attendees})")
+
+    # No participant is double-booked:
+    busy = {}
+    for meeting, slot in plan.items():
+        for person in MEETINGS[meeting]:
+            assert (person, slot) not in busy, f"{person} double-booked"
+            busy[(person, slot)] = meeting
+    print(
+        f"\nverified: nobody is double-booked "
+        f"(settled in {result.cycles} cycles, "
+        f"{result.messages_sent} messages)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+"""Multi-variable-per-agent AWC — the paper's Section 5 extension.
+
+Real problems rarely give every agent exactly one variable. Here the same
+random coloring problem is distributed three ways — one node per agent, two
+departments, and fully centralized in one agent — and solved with the
+multi-variable AWC, whose hosted variables exchange messages *within* a
+cycle. The fewer the agents, the more conflicts resolve locally and the
+fewer communication cycles are spent.
+
+Run:  python examples/multi_variable_agents.py
+"""
+
+from repro import DisCSP, MetricsCollector, SynchronousSimulator, learning_method
+from repro.algorithms import build_multi_awc_agents
+from repro.problems.coloring import coloring_csp, random_coloring_instance
+
+N = 24
+
+
+def run_with_agents(csp, num_agents, seed=0):
+    owner = {variable: variable % num_agents for variable in csp.variables}
+    problem = DisCSP(csp, owner)
+    metrics = MetricsCollector()
+    agents = build_multi_awc_agents(
+        problem, learning_method("Rslv"), metrics, seed
+    )
+    result = SynchronousSimulator(problem, agents, metrics=metrics).run()
+    assert result.solved, f"{num_agents} agents failed"
+    assert problem.is_solution(result.assignment)
+    return result
+
+
+def main() -> None:
+    instance = random_coloring_instance(N, seed=13)
+    csp = coloring_csp(instance.graph, 3)
+    print(f"3-coloring, n={N}, m={instance.graph.num_edges} arcs\n")
+    print(f"{'distribution':24s} {'cycles':>7s} {'maxcck':>8s} {'msgs':>6s}")
+    for num_agents in (N, 6, 2, 1):
+        result = run_with_agents(csp, num_agents)
+        label = (
+            "one variable per agent"
+            if num_agents == N
+            else f"{num_agents} agent(s)"
+        )
+        print(
+            f"{label:24s} {result.cycles:7d} {result.maxcck:8d} "
+            f"{result.messages_sent:6d}"
+        )
+    print(
+        "\nHosting more variables per agent converts communication cycles "
+        "into intra-cycle local computation — the trade-off the paper's "
+        "future-work section points at."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+"""Distributed n-queens: one agent per row, negotiated with three algorithms.
+
+A classic dense constraint problem that is *not* one of the paper's random
+benchmarks: every pair of rows is constrained (same column or same
+diagonal), so every agent is everyone's neighbor and message traffic is
+maximal. A nice stress test for the learning machinery — and a visual one.
+
+Run:  python examples/nqueens.py
+"""
+
+from repro import abt, awc, db, run_trial
+from repro.problems import is_nqueens_solution, nqueens_discsp
+
+SIZE = 8
+
+
+def draw(assignment) -> str:
+    rows = []
+    for row in range(SIZE):
+        cells = [
+            " Q" if assignment[row] == column else " ."
+            for column in range(SIZE)
+        ]
+        rows.append("".join(cells))
+    return "\n".join(rows)
+
+
+def main() -> None:
+    problem = nqueens_discsp(SIZE)
+    print(f"{SIZE}-queens as a DisCSP: {problem}\n")
+
+    print(f"{'algorithm':14s} {'cycle':>7s} {'maxcck':>9s} {'msgs':>7s}")
+    best = None
+    for spec in (awc("Rslv"), awc("3rdRslv"), db(), abt()):
+        result = run_trial(problem, spec, seed=11, max_cycles=20_000)
+        assert result.solved, spec.name
+        assert is_nqueens_solution(SIZE, result.assignment)
+        print(
+            f"{spec.name:14s} {result.cycles:7d} {result.maxcck:9d} "
+            f"{result.messages_sent:7d}"
+        )
+        if best is None:
+            best = result
+    print("\nAWC+Rslv's board:")
+    print(draw(best.assignment))
+
+
+if __name__ == "__main__":
+    main()

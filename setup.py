@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+All metadata lives in pyproject.toml; this file exists so that fully offline
+environments (no ``wheel`` package available) can still do an editable
+install through setuptools' legacy ``develop`` path.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,43 @@
+"""Distributed constraint satisfaction algorithms.
+
+* :class:`~repro.algorithms.awc.AwcAgent` — asynchronous weak-commitment
+  search with pluggable nogood learning (the paper's algorithm);
+* :class:`~repro.algorithms.breakout.BreakoutAgent` — distributed breakout
+  (the Section 4.3 baseline);
+* :class:`~repro.algorithms.abt.AbtAgent` — asynchronous backtracking
+  (the ancestor algorithm);
+* :class:`~repro.algorithms.multi_awc.MultiVariableAwcAgent` — the
+  multi-variable-per-agent extension sketched in Section 5.
+"""
+
+from .abt import AbtAgent, build_abt_agents
+from .awc import AwcAgent, build_awc_agents
+from .base import SingleVariableAgent, argmin_with_ties
+from .breakout import WEIGHT_MODES, BreakoutAgent, build_breakout_agents
+from .multi_awc import MultiVariableAwcAgent, build_multi_awc_agents
+from .registry import (
+    AlgorithmSpec,
+    abt,
+    algorithm_by_name,
+    awc,
+    db,
+)
+
+__all__ = [
+    "AbtAgent",
+    "AlgorithmSpec",
+    "AwcAgent",
+    "BreakoutAgent",
+    "MultiVariableAwcAgent",
+    "SingleVariableAgent",
+    "WEIGHT_MODES",
+    "abt",
+    "algorithm_by_name",
+    "argmin_with_ties",
+    "awc",
+    "build_abt_agents",
+    "build_awc_agents",
+    "build_breakout_agents",
+    "build_multi_awc_agents",
+    "db",
+]

@@ -1,0 +1,281 @@
+"""The asynchronous weak-commitment search algorithm (AWC), Section 2.2.
+
+Every agent holds one variable, announces its value (with a dynamic
+*priority*, initially 0) via ``ok?`` messages, and reacts to what it hears:
+
+* if no **higher** nogood (one whose priority outranks the agent's variable)
+  is violated, it does nothing;
+* if violated higher nogoods can be repaired by changing its value, it moves
+  to the candidate value violating the fewest **lower** nogoods and
+  re-announces;
+* otherwise it is at a *deadend*: it asks its learning method for a new
+  nogood, announces that nogood to every agent whose variable it mentions,
+  **raises its own priority** above everything it can see, moves to the
+  value violating the fewest of all its nogoods, and re-announces. If the
+  new nogood equals the previously generated one, it does nothing at all —
+  the paper's rule "required to ensure the completeness of the algorithm".
+
+Receiving a nogood that mentions an unknown variable triggers a value
+request to that variable's owner (the add-link mechanism inherited from
+ABT); the owner replies with an ``ok?`` and keeps the requester informed
+from then on.
+
+The learning method is fully pluggable (see :mod:`repro.learning`); this one
+class therefore covers the paper's Rslv, Mcs, No, kthRslv, and rec/norec
+variants.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence, Set
+
+from ..core.assignment import AgentView
+from ..core.nogood import Nogood
+from ..core.problem import AgentId, DisCSP
+from ..core.variables import Value
+from ..learning.base import DeadendContext, LearningMethod
+from ..runtime.messages import (
+    Message,
+    NogoodMessage,
+    OkMessage,
+    Outgoing,
+    RequestValueMessage,
+)
+from ..runtime.metrics import MetricsCollector
+from .base import SingleVariableAgent, argmin_with_ties
+
+
+class AwcAgent(SingleVariableAgent):
+    """One AWC agent: a variable, a view, a store, and a learning method."""
+
+    def __init__(
+        self,
+        agent_id: AgentId,
+        problem: DisCSP,
+        learning: LearningMethod,
+        metrics: MetricsCollector,
+        rng: random.Random,
+        initial_value: Optional[Value] = None,
+        variable=None,
+    ) -> None:
+        super().__init__(agent_id, problem, rng, initial_value, variable)
+        self.learning = learning
+        self.metrics = metrics
+        self.priority = 0
+        self.view = AgentView()
+        self.last_generated: Optional[Nogood] = None
+
+    # -- simulator protocol ----------------------------------------------------
+
+    def initialize(self) -> List[Outgoing]:
+        self.value = self.pick_initial_value()
+        # Establish consistency with *unary* nogoods up front. The view is
+        # still empty so only nogoods binding this variable alone can be
+        # violated; without this, an agent with no neighbors (or whose
+        # domain is wiped out by unary constraints) would never act at all,
+        # since checks are otherwise message-driven.
+        reaction = self._check_agent_view()
+        outgoing = [
+            (recipient, message)
+            for recipient, message in reaction
+            if isinstance(message, NogoodMessage)
+        ]
+        outgoing.extend(self._broadcast_ok(self.sorted_recipients()))
+        return outgoing
+
+    def step(self, messages: Sequence[Message]) -> List[Outgoing]:
+        state_changed = False
+        requesters: Set[AgentId] = set()
+        requests_out: List[Outgoing] = []
+        for message in messages:
+            if isinstance(message, OkMessage):
+                if self.view.update(
+                    message.variable, message.value, message.priority
+                ):
+                    state_changed = True
+            elif isinstance(message, NogoodMessage):
+                # Keep the generator informed of our future moves: it built
+                # this nogood from our announced value.
+                self.recipients.add(message.sender)
+                requests_out.extend(self._receive_nogood(message.nogood))
+                state_changed = True
+            elif isinstance(message, RequestValueMessage):
+                self.recipients.add(message.sender)
+                requesters.add(message.sender)
+        outgoing: List[Outgoing] = list(requests_out)
+        broadcast_targets: Set[AgentId] = set()
+        if state_changed:
+            reaction = self._check_agent_view()
+            outgoing.extend(reaction)
+            broadcast_targets = {
+                recipient
+                for recipient, message in reaction
+                if isinstance(message, OkMessage)
+            }
+        for requester in sorted(requesters - broadcast_targets):
+            outgoing.append((requester, self._ok_message()))
+        return outgoing
+
+    # -- the AWC decision procedure --------------------------------------------
+
+    def _check_agent_view(self) -> List[Outgoing]:
+        """React to the current view; returns messages to send."""
+        violated = self.store.violated_higher(
+            self.view, self.value, self.priority
+        )
+        if not violated:
+            return []
+        repair_candidates = [
+            value
+            for value in self.domain
+            if value != self.value
+            and not self.store.violated_higher(self.view, value, self.priority)
+        ]
+        if repair_candidates:
+            self.value = argmin_with_ties(
+                repair_candidates,
+                lambda value: self.store.count_violated_lower(
+                    self.view, value, self.priority
+                ),
+                self.rng,
+            )
+            return self._broadcast_ok(self.sorted_recipients())
+        return self._backtrack()
+
+    def _backtrack(self) -> List[Outgoing]:
+        """Handle a deadend: learn, raise priority, move, re-announce."""
+        outgoing: List[Outgoing] = []
+        nogood = self.learning.make_nogood(
+            DeadendContext(
+                variable=self.variable,
+                domain=self.domain,
+                priority=self.priority,
+                view=self.view,
+                store=self.store,
+            )
+        )
+        if nogood is not None:
+            # Every generation event is counted (Table 4's measure counts a
+            # regeneration even when the rule below suppresses acting on it).
+            self.metrics.record_generation(self.id, nogood)
+            if len(nogood) == 0:
+                self.fail_unsolvable("derived the empty nogood")
+                return []
+            if (
+                self.learning.should_record(nogood)
+                and nogood == self.last_generated
+            ):
+                # The completeness rule: repeating the identical nogood would
+                # loop forever; the recorded copy at the recipients will
+                # eventually force someone else to move. That justification
+                # needs the nogood to actually be recorded — for nogoods the
+                # recording policy drops (size bounds, norec) the deadend is
+                # instead broken by the priority raise below (footnote 1),
+                # otherwise the whole system can freeze.
+                return []
+            self.last_generated = nogood
+            announcement = NogoodMessage(self.id, nogood)
+            owners = {
+                self.owner_of(variable) for variable in nogood.variables
+            }
+            for owner in sorted(owners):
+                outgoing.append((owner, announcement))
+        self.priority = self._highest_known_priority() + 1
+        # At the raised priority every nogood involving other variables is
+        # now *lower*; only learned unary nogoods on this very variable can
+        # still rank higher (their priority is TOP). The paper's "value
+        # causing the minimum violation on all its nogoods" must not pick a
+        # unary-forbidden value — nothing would ever make the agent move off
+        # it, freezing the system — so those values are excluded here, and
+        # lower violations are minimized among the rest.
+        candidates = [
+            value
+            for value in self.domain
+            if not self.store.violated_higher(self.view, value, self.priority)
+        ]
+        if not candidates:
+            # Every value is forbidden by a unary nogood on this variable:
+            # the recursive deadend derives the empty resolvent and reports
+            # the problem unsolvable.
+            outgoing.extend(self._backtrack())
+            return outgoing
+        self.value = argmin_with_ties(
+            candidates,
+            lambda value: self.store.count_violated_lower(
+                self.view, value, self.priority
+            ),
+            self.rng,
+        )
+        outgoing.extend(self._broadcast_ok(self.sorted_recipients()))
+        return outgoing
+
+    def _receive_nogood(self, nogood: Nogood) -> List[Outgoing]:
+        """Record an announced nogood (policy permitting); request unknowns."""
+        requests: List[Outgoing] = []
+        if not self.learning.should_record(nogood):
+            return requests
+        if not self.store.add(nogood):
+            return requests
+        for variable in sorted(nogood.variables):
+            if variable != self.variable and not self.view.knows(variable):
+                requests.append(
+                    (
+                        self.owner_of(variable),
+                        RequestValueMessage(self.id, variable),
+                    )
+                )
+        return requests
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _highest_known_priority(self) -> int:
+        highest = self.priority
+        for variable in self.view:
+            priority = self.view.priority_of(variable)
+            if priority > highest:
+                highest = priority
+        return highest
+
+    def _ok_message(self) -> OkMessage:
+        return OkMessage(self.id, self.variable, self.value, self.priority)
+
+    def _broadcast_ok(self, recipients: Sequence[AgentId]) -> List[Outgoing]:
+        message = self._ok_message()
+        return [(recipient, message) for recipient in recipients]
+
+
+def build_awc_agents(
+    problem: DisCSP,
+    learning: LearningMethod,
+    metrics: MetricsCollector,
+    seed,
+    initial_assignment=None,
+) -> List[AwcAgent]:
+    """Build one AWC agent per agent id of *problem*.
+
+    Each agent gets an independent RNG derived from *seed*, and (optionally)
+    its initial value from *initial_assignment* — the paper's trials fix the
+    instance and vary exactly these initial values.
+    """
+    from ..runtime.random_source import derive_rng
+
+    agents = []
+    for agent_id in problem.agents:
+        variable = problem.variables_of(agent_id)[0]
+        initial = (
+            initial_assignment.get(variable)
+            if initial_assignment is not None
+            else None
+        )
+        agents.append(
+            AwcAgent(
+                agent_id,
+                problem,
+                learning,
+                metrics,
+                derive_rng(seed, "awc-agent", agent_id),
+                initial_value=initial,
+            )
+        )
+    return agents

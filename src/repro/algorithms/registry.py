@@ -1,0 +1,103 @@
+"""Uniform construction of algorithm instances for the experiment harness.
+
+An :class:`AlgorithmSpec` couples a display name (as used in the paper's
+tables: "AWC+Rslv", "AWC+3rdRslv", "DB", ...) with a builder that produces
+the per-agent objects for a given problem. The harness treats algorithms
+entirely through this interface, so every table runner is a few lines of
+configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from ..core.exceptions import ModelError
+from ..core.problem import DisCSP
+from ..core.variables import Value, VariableId
+from ..learning import LearningMethod, learning_method
+from ..runtime.agent import SimulatedAgent
+from ..runtime.metrics import MetricsCollector
+from .abt import build_abt_agents
+from .awc import build_awc_agents
+from .breakout import build_breakout_agents
+
+#: initial values per variable (or None to let each agent draw its own).
+InitialAssignment = Optional[Dict[VariableId, Value]]
+
+Builder = Callable[
+    [DisCSP, MetricsCollector, object, InitialAssignment],
+    List[SimulatedAgent],
+]
+
+
+@dataclass(frozen=True)
+class AlgorithmSpec:
+    """A named recipe for building the agents of one algorithm."""
+
+    name: str
+    build: Builder
+
+    def __repr__(self) -> str:
+        return f"AlgorithmSpec({self.name})"
+
+
+def awc(learning: object = "Rslv") -> AlgorithmSpec:
+    """AWC with the given learning method (a name or a strategy instance)."""
+    method = (
+        learning
+        if isinstance(learning, LearningMethod)
+        else learning_method(str(learning))
+    )
+
+    def build(problem, metrics, seed, initial_assignment):
+        return build_awc_agents(
+            problem, method, metrics, seed, initial_assignment
+        )
+
+    return AlgorithmSpec(name=f"AWC+{method.name}", build=build)
+
+
+def db(weight_mode: str = "nogood") -> AlgorithmSpec:
+    """The distributed breakout algorithm."""
+
+    def build(problem, metrics, seed, initial_assignment):
+        del metrics  # DB generates no nogoods
+        return build_breakout_agents(
+            problem, seed, initial_assignment, weight_mode=weight_mode
+        )
+
+    suffix = "" if weight_mode == "nogood" else f"({weight_mode})"
+    return AlgorithmSpec(name=f"DB{suffix}", build=build)
+
+
+def abt(learning: str = "view") -> AlgorithmSpec:
+    """Asynchronous backtracking; ``learning`` picks the backtrack nogood.
+
+    ``"view"`` is classic ABT (the whole agent view); ``"resolvent"``
+    applies the paper's Section 3 rule inside ABT instead.
+    """
+
+    def build(problem, metrics, seed, initial_assignment):
+        del metrics
+        return build_abt_agents(
+            problem, seed, initial_assignment, learning=learning
+        )
+
+    suffix = "" if learning == "view" else f"({learning})"
+    return AlgorithmSpec(name=f"ABT{suffix}", build=build)
+
+
+def algorithm_by_name(name: str) -> AlgorithmSpec:
+    """Parse a table-style algorithm label into a spec.
+
+    Accepted: ``"DB"``, ``"ABT"``, ``"AWC+<learning>"`` where ``<learning>``
+    is any label accepted by :func:`repro.learning.learning_method`.
+    """
+    if name == "DB":
+        return db()
+    if name == "ABT":
+        return abt()
+    if name.startswith("AWC+"):
+        return awc(name[len("AWC+"):])
+    raise ModelError(f"unknown algorithm: {name!r}")

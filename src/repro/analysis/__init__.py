@@ -1,0 +1,37 @@
+"""Post-hoc analysis: descriptive statistics and per-cycle cost profiles."""
+
+from .profiles import PhaseProfile, phase_profile, sparkline
+from .textplot import MARKERS, Series, line_plot
+from .stats import (
+    Comparison,
+    Summary,
+    compare,
+    mean,
+    measure,
+    median,
+    percentile,
+    std,
+    summarize,
+    summarize_cycles,
+    summarize_maxcck,
+)
+
+__all__ = [
+    "Comparison",
+    "MARKERS",
+    "PhaseProfile",
+    "Series",
+    "Summary",
+    "line_plot",
+    "compare",
+    "mean",
+    "measure",
+    "median",
+    "percentile",
+    "phase_profile",
+    "sparkline",
+    "std",
+    "summarize",
+    "summarize_cycles",
+    "summarize_maxcck",
+]

@@ -1,0 +1,89 @@
+"""Per-cycle cost profiles of simulated runs.
+
+``maxcck`` compresses a run into one number; its *history* (the per-cycle
+maxima the metrics collector can retain) shows where the computation
+actually went — e.g. AWC's checks grow as nogood stores fill, while DB's
+stay flat. This module turns retained histories into phase summaries and a
+terminal-friendly sparkline, which the trace-oriented example uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from ..core.exceptions import ModelError
+
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+
+
+@dataclass(frozen=True)
+class PhaseProfile:
+    """One run's per-cycle check maxima split into equal phases."""
+
+    phase_means: List[float]
+    peak_cycle: int
+    peak_value: int
+    total: int
+
+    @property
+    def rising(self) -> bool:
+        """True when the last phase is costlier than the first.
+
+        The signature of accumulating nogood stores: learning algorithms
+        rise, non-learning ones stay flat or fall.
+        """
+        if len(self.phase_means) < 2:
+            return False
+        return self.phase_means[-1] > self.phase_means[0]
+
+
+def phase_profile(history: Sequence[int], phases: int = 4) -> PhaseProfile:
+    """Split *history* (per-cycle maxima) into *phases* equal spans."""
+    if not history:
+        raise ModelError(
+            "empty history: run the simulator with "
+            "MetricsCollector(keep_history=True)"
+        )
+    if phases < 1:
+        raise ModelError(f"phases must be positive, got {phases}")
+    phases = min(phases, len(history))
+    span = len(history) / phases
+    means = []
+    for index in range(phases):
+        chunk = history[round(index * span): round((index + 1) * span)]
+        means.append(sum(chunk) / len(chunk) if chunk else 0.0)
+    peak_cycle = max(range(len(history)), key=history.__getitem__)
+    return PhaseProfile(
+        phase_means=means,
+        peak_cycle=peak_cycle + 1,  # cycles are 1-based in reports
+        peak_value=history[peak_cycle],
+        total=sum(history),
+    )
+
+
+def sparkline(history: Sequence[int], width: int = 60) -> str:
+    """A unicode sparkline of *history*, downsampled to *width* buckets."""
+    if not history:
+        return ""
+    if width < 1:
+        raise ModelError(f"width must be positive, got {width}")
+    buckets: List[float] = []
+    span = len(history) / min(width, len(history))
+    position = 0.0
+    while round(position) < len(history):
+        chunk = history[round(position): round(position + span)]
+        if not chunk:
+            break
+        buckets.append(sum(chunk) / len(chunk))
+        position += span
+    top = max(buckets) or 1.0
+    return "".join(
+        _SPARK_LEVELS[
+            min(
+                len(_SPARK_LEVELS) - 1,
+                int(value / top * (len(_SPARK_LEVELS) - 1) + 0.5),
+            )
+        ]
+        for value in buckets
+    )

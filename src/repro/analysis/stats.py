@@ -1,0 +1,180 @@
+"""Summary statistics over trial results.
+
+The paper reports plain means over 100 trials. For a reproduction it is
+worth knowing how wide those means are: this module computes the standard
+descriptive statistics plus normal-approximation confidence intervals over
+any per-trial measure, and side-by-side comparisons between two cells
+(ratio of means with uncertainty), which is what "Rslv's maxcck is about
+half of Mcs's" claims rest on.
+
+Pure stdlib on purpose: the numbers are simple and the module is used in
+test oracles, where a dependency-free implementation is easiest to trust.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from ..core.exceptions import ModelError
+from ..runtime.simulator import RunResult
+
+#: 97.5 % standard-normal quantile, for 95 % confidence intervals.
+_Z95 = 1.959963984540054
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Descriptive statistics of one measure over a set of trials."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    median: float
+    maximum: float
+    ci_low: float
+    ci_high: float
+
+    def __str__(self) -> str:
+        return (
+            f"mean {self.mean:.1f} "
+            f"[95% CI {self.ci_low:.1f}, {self.ci_high:.1f}] "
+            f"(min {self.minimum:.1f}, median {self.median:.1f}, "
+            f"max {self.maximum:.1f}, n={self.count})"
+        )
+
+
+def mean(values: Sequence[float]) -> float:
+    """The arithmetic mean (raises on empty input)."""
+    if not values:
+        raise ModelError("mean of an empty sequence")
+    return sum(values) / len(values)
+
+
+def std(values: Sequence[float]) -> float:
+    """Sample standard deviation (0.0 for fewer than two values)."""
+    if len(values) < 2:
+        return 0.0
+    center = mean(values)
+    variance = sum((value - center) ** 2 for value in values) / (
+        len(values) - 1
+    )
+    return math.sqrt(variance)
+
+
+def median(values: Sequence[float]) -> float:
+    """The median (raises on empty input)."""
+    if not values:
+        raise ModelError("median of an empty sequence")
+    ordered = sorted(values)
+    middle = len(ordered) // 2
+    if len(ordered) % 2:
+        return float(ordered[middle])
+    return (ordered[middle - 1] + ordered[middle]) / 2
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """The *q*-th percentile (linear interpolation), q in [0, 100]."""
+    if not values:
+        raise ModelError("percentile of an empty sequence")
+    if not 0 <= q <= 100:
+        raise ModelError(f"percentile must be in [0, 100], got {q}")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return float(ordered[0])
+    position = (len(ordered) - 1) * q / 100
+    low = int(math.floor(position))
+    high = int(math.ceil(position))
+    if low == high:
+        return float(ordered[low])
+    fraction = position - low
+    return ordered[low] * (1 - fraction) + ordered[high] * fraction
+
+
+def summarize(values: Sequence[float]) -> Summary:
+    """Full descriptive summary of *values*."""
+    if not values:
+        raise ModelError("summarize of an empty sequence")
+    center = mean(values)
+    spread = std(values)
+    half_width = (
+        _Z95 * spread / math.sqrt(len(values)) if len(values) > 1 else 0.0
+    )
+    return Summary(
+        count=len(values),
+        mean=center,
+        std=spread,
+        minimum=float(min(values)),
+        median=median(values),
+        maximum=float(max(values)),
+        ci_low=center - half_width,
+        ci_high=center + half_width,
+    )
+
+
+# -- trial-level helpers -----------------------------------------------------------
+
+
+def measure(
+    trials: Sequence[RunResult], getter: Callable[[RunResult], float]
+) -> List[float]:
+    """Extract one measure from every trial."""
+    return [float(getter(trial)) for trial in trials]
+
+
+def summarize_cycles(trials: Sequence[RunResult]) -> Summary:
+    """Summary of the paper's ``cycle`` measure."""
+    return summarize(measure(trials, lambda trial: trial.cycles))
+
+
+def summarize_maxcck(trials: Sequence[RunResult]) -> Summary:
+    """Summary of the paper's ``maxcck`` measure."""
+    return summarize(measure(trials, lambda trial: trial.maxcck))
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """Two cells compared on one measure."""
+
+    label_a: str
+    label_b: str
+    summary_a: Summary
+    summary_b: Summary
+
+    @property
+    def mean_ratio(self) -> float:
+        """mean(a) / mean(b); inf when b's mean is zero."""
+        if self.summary_b.mean == 0:
+            return math.inf
+        return self.summary_a.mean / self.summary_b.mean
+
+    @property
+    def a_clearly_below_b(self) -> bool:
+        """True when the 95 % intervals are disjoint with a below b."""
+        return self.summary_a.ci_high < self.summary_b.ci_low
+
+    def __str__(self) -> str:
+        return (
+            f"{self.label_a} / {self.label_b}: ratio of means "
+            f"{self.mean_ratio:.2f} "
+            f"({self.label_a}: {self.summary_a.mean:.1f}, "
+            f"{self.label_b}: {self.summary_b.mean:.1f})"
+        )
+
+
+def compare(
+    label_a: str,
+    trials_a: Sequence[RunResult],
+    label_b: str,
+    trials_b: Sequence[RunResult],
+    getter: Callable[[RunResult], float],
+) -> Comparison:
+    """Compare two trial sets on one measure."""
+    return Comparison(
+        label_a=label_a,
+        label_b=label_b,
+        summary_a=summarize(measure(trials_a, getter)),
+        summary_b=summarize(measure(trials_b, getter)),
+    )

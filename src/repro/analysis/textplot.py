@@ -1,0 +1,119 @@
+"""Terminal line plots, for rendering Figure 2 without a plotting stack.
+
+The library deliberately has no third-party dependencies; this module
+draws simple multi-series line charts on a character grid — enough to
+*see* the Figure 2 crossover in a terminal or a text report. Each series
+gets a marker; coinciding points show the marker of the later series; axes
+are labelled with min/max values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from ..core.exceptions import ModelError
+
+#: Series markers, cycled when there are many series.
+MARKERS = "*+ox#@"
+
+
+@dataclass(frozen=True)
+class Series:
+    """One plotted line: a label and its (x, y) points."""
+
+    label: str
+    points: Tuple[Tuple[float, float], ...]
+
+    @classmethod
+    def from_function(cls, label, xs: Sequence[float], function) -> "Series":
+        return cls(
+            label=label,
+            points=tuple((float(x), float(function(x))) for x in xs),
+        )
+
+
+def _bounds(series: Sequence[Series]) -> Tuple[float, float, float, float]:
+    xs = [x for one in series for x, _y in one.points]
+    ys = [y for one in series for _x, y in one.points]
+    if not xs:
+        raise ModelError("nothing to plot")
+    x_low, x_high = min(xs), max(xs)
+    y_low, y_high = min(ys), max(ys)
+    if x_low == x_high:
+        x_high = x_low + 1.0
+    if y_low == y_high:
+        y_high = y_low + 1.0
+    return x_low, x_high, y_low, y_high
+
+
+def line_plot(
+    series: Sequence[Series],
+    width: int = 64,
+    height: int = 18,
+    title: str = "",
+    x_label: str = "",
+    y_label: str = "",
+) -> str:
+    """Render *series* as an ASCII chart.
+
+    Points are scaled into a ``width`` × ``height`` grid and connected by
+    linear interpolation along x, so lines read as lines rather than
+    scattered dots.
+    """
+    if width < 8 or height < 4:
+        raise ModelError("plot area too small (need width>=8, height>=4)")
+    if not series:
+        raise ModelError("nothing to plot")
+    x_low, x_high, y_low, y_high = _bounds(series)
+    grid = [[" "] * width for _ in range(height)]
+
+    def to_column(x: float) -> int:
+        return round((x - x_low) / (x_high - x_low) * (width - 1))
+
+    def to_row(y: float) -> int:
+        scaled = (y - y_low) / (y_high - y_low) * (height - 1)
+        return (height - 1) - round(scaled)
+
+    for index, one in enumerate(series):
+        marker = MARKERS[index % len(MARKERS)]
+        ordered = sorted(one.points)
+        # Interpolate along columns between consecutive points.
+        for (x0, y0), (x1, y1) in zip(ordered, ordered[1:]):
+            c0, c1 = to_column(x0), to_column(x1)
+            for column in range(c0, c1 + 1):
+                if c1 == c0:
+                    y = y0
+                else:
+                    fraction = (column - c0) / (c1 - c0)
+                    y = y0 + fraction * (y1 - y0)
+                grid[to_row(y)][column] = marker
+        if len(ordered) == 1:
+            x0, y0 = ordered[0]
+            grid[to_row(y0)][to_column(x0)] = marker
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    top_label = f"{y_high:g}"
+    bottom_label = f"{y_low:g}"
+    gutter = max(len(top_label), len(bottom_label)) + 1
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            prefix = top_label.rjust(gutter - 1) + " "
+        elif row_index == height - 1:
+            prefix = bottom_label.rjust(gutter - 1) + " "
+        else:
+            prefix = " " * gutter
+        lines.append(prefix + "|" + "".join(row))
+    lines.append(" " * gutter + "+" + "-" * width)
+    x_axis = f"{x_low:g}".ljust(width - len(f"{x_high:g}")) + f"{x_high:g}"
+    lines.append(" " * (gutter + 1) + x_axis)
+    if x_label:
+        lines.append(" " * (gutter + 1) + x_label)
+    legend = "   ".join(
+        f"{MARKERS[i % len(MARKERS)]} {one.label}"
+        for i, one in enumerate(series)
+    )
+    lines.append((y_label + "  " if y_label else "") + legend)
+    return "\n".join(lines)

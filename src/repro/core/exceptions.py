@@ -1,0 +1,59 @@
+"""Exception hierarchy for the repro library.
+
+All library-specific errors derive from :class:`ReproError`, so callers can
+catch one base class. The sub-classes separate modelling mistakes (bad
+problem definitions) from runtime conditions (an algorithm proving a problem
+unsolvable, a simulation exceeding its cycle cap).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ModelError(ReproError):
+    """A problem definition is malformed.
+
+    Raised when building variables, domains, nogoods, or problems from
+    inconsistent inputs (e.g. an empty domain, a nogood mentioning a variable
+    twice with different values, an agent owning an unknown variable).
+    """
+
+
+class GenerationError(ReproError):
+    """A problem generator could not produce a valid instance.
+
+    Raised for infeasible parameters (e.g. asking for more distinct arcs than
+    a planted partition allows) or when an iterative generator exceeds its
+    work bound.
+    """
+
+
+class UnsolvableError(ReproError):
+    """An algorithm derived the empty nogood: the problem has no solution.
+
+    Distributed algorithms that record all nogoods (AWC with unrestricted
+    learning, ABT) are complete; deriving an empty nogood is their proof of
+    insolubility. The simulator converts this into a terminated
+    :class:`~repro.runtime.simulator.RunResult` rather than letting it
+    propagate to callers.
+    """
+
+    def __init__(self, agent_id: int, message: str = "") -> None:
+        detail = message or f"agent {agent_id} derived the empty nogood"
+        super().__init__(detail)
+        self.agent_id = agent_id
+
+
+class SimulationError(ReproError):
+    """The simulator was driven into an invalid state.
+
+    This signals a bug or misuse (e.g. an agent sending a message to an
+    unknown recipient), never a normal outcome like hitting the cycle cap.
+    """
+
+
+class SolverError(ReproError):
+    """A centralized solver was used outside its supported inputs."""

@@ -1,0 +1,75 @@
+"""The total order on variables induced by dynamic priorities.
+
+The AWC algorithm (Section 2.2 of the paper) attaches a non-negative integer
+*priority* to every variable. Priorities change during search (a deadend
+agent raises its own), and many decisions depend on comparing them:
+
+* which nogoods are *higher* than a variable (and must therefore be
+  satisfied) versus *lower* (merely to be minimized);
+* which of two equally small candidate nogoods the resolvent rule prefers.
+
+The paper resolves equal numeric priorities deterministically: "All ties in
+priorities are broken due to the alphabetical order of variables' ids." We
+use integer variable ids, ordered ascending, so between two variables with
+the same numeric priority the one with the **smaller id ranks higher**.
+
+Everything in this module is expressed through :func:`order_key`, which maps
+``(priority, variable)`` to a tuple that compares the right way with plain
+``<``/``>``: a greater key means a higher-ranked variable. The priority of a
+*nogood* (the lowest-ranked variable among its members other than the owner)
+is then just a ``min`` over keys.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Tuple
+
+#: Order key type: compare with <, >, min, max. Greater key = higher rank.
+OrderKey = Tuple[float, float]
+
+#: Key greater than every real variable's key. Used as the priority of a
+#: nogood with no variables besides the owner (a unary nogood on the owner's
+#: own variable): such a nogood binds unconditionally, so it must rank higher
+#: than any variable.
+TOP_KEY: OrderKey = (float("inf"), float("inf"))
+
+
+def order_key(priority: int, variable: int) -> OrderKey:
+    """Return the comparison key of *variable* at *priority*.
+
+    Keys compare such that greater means higher rank: a larger numeric
+    priority always wins, and among equal priorities a smaller variable id
+    wins (the paper's alphabetical tie-break).
+
+    >>> order_key(2, 7) > order_key(1, 3)
+    True
+    >>> order_key(1, 3) > order_key(1, 5)   # tie: smaller id ranks higher
+    True
+    """
+    return (priority, -variable)
+
+
+def nogood_priority_key(
+    member_priorities: Iterable[Tuple[int, int]],
+) -> OrderKey:
+    """Return the priority key of a nogood.
+
+    *member_priorities* yields ``(priority, variable)`` pairs for every
+    variable in the nogood **except the owner's own variable**. The paper
+    defines the priority of a nogood as "the lowest priority among variables
+    except x_i in the nogood", so the result is the minimum key, or
+    :data:`TOP_KEY` when the iterable is empty (a unary nogood on the owner).
+    """
+    best: OrderKey = TOP_KEY
+    for priority, variable in member_priorities:
+        key = order_key(priority, variable)
+        if key < best:
+            best = key
+    return best
+
+
+def outranks(
+    priority_a: int, variable_a: int, priority_b: int, variable_b: int
+) -> bool:
+    """Return True if variable *a* ranks strictly higher than variable *b*."""
+    return order_key(priority_a, variable_a) > order_key(priority_b, variable_b)

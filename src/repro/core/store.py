@@ -1,0 +1,255 @@
+"""Per-agent nogood storage with the paper's cost accounting built in.
+
+The paper's computational cost measure is the *nogood check*: every test of
+"is this nogood violated under the current view?" counts as one check, and
+``maxcck`` sums, over cycles, the per-cycle maximum of this count across
+agents. To make that measure impossible to get wrong, every violation test
+goes through :meth:`NogoodStore.is_violated`, which bumps a shared
+:class:`CheckCounter` that the metrics layer samples once per cycle.
+
+The store indexes nogoods by the value they bind the *owner's* variable to.
+In the one-variable-per-agent setting every nogood relevant to agent *i*
+mentions ``x_i`` (initial constraints do by construction; learned nogoods are
+only sent to agents whose variable they mention), so testing a candidate
+value ``d`` touches only the bucket for ``d``. Nogoods that do not mention
+the owner (possible in multi-variable extensions) land in an unconditional
+bucket consulted for every candidate.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from .assignment import AgentView
+from .nogood import Nogood
+from .priorities import OrderKey, nogood_priority_key, order_key
+from .variables import Value, VariableId
+
+
+class CheckCounter:
+    """A monotonically increasing count of nogood checks.
+
+    One counter is shared between an agent's store and the metrics
+    collector; the collector snapshots ``total`` at cycle boundaries and
+    works with deltas.
+    """
+
+    __slots__ = ("total",)
+
+    def __init__(self) -> None:
+        self.total = 0
+
+    def bump(self, amount: int = 1) -> None:
+        """Record *amount* nogood checks."""
+        self.total += amount
+
+    def __repr__(self) -> str:
+        return f"CheckCounter(total={self.total})"
+
+
+class NogoodStore:
+    """All nogoods relevant to one agent, indexed by the owner's value.
+
+    The store deduplicates: :meth:`add` returns False for a nogood already
+    present, and subsumed duplicates are *not* removed (the paper's
+    algorithms do not prune subsumed nogoods; their cost shows up in
+    ``maxcck`` exactly as it should).
+    """
+
+    __slots__ = (
+        "own_variable",
+        "counter",
+        "_by_value",
+        "_unconditional",
+        "_all",
+        "_key_cache",
+        "_key_cache_view",
+        "_key_cache_version",
+    )
+
+    def __init__(
+        self,
+        own_variable: VariableId,
+        counter: Optional[CheckCounter] = None,
+    ) -> None:
+        self.own_variable = own_variable
+        self.counter = counter if counter is not None else CheckCounter()
+        self._by_value: Dict[Value, List[Nogood]] = {}
+        self._unconditional: List[Nogood] = []
+        self._all: Set[Nogood] = set()
+        # Priority keys depend only on the view's priorities, which change
+        # far more rarely than checks happen; cache per (view, version).
+        self._key_cache: Dict[Nogood, OrderKey] = {}
+        self._key_cache_view: Optional[AgentView] = None
+        self._key_cache_version = -1
+
+    # -- content management ------------------------------------------------
+
+    def add(self, nogood: Nogood) -> bool:
+        """Record *nogood*; returns False if it was already present."""
+        if nogood in self._all:
+            return False
+        self._all.add(nogood)
+        own_value = nogood.value_of(self.own_variable)
+        if nogood.mentions(self.own_variable):
+            self._by_value.setdefault(own_value, []).append(nogood)
+        else:
+            self._unconditional.append(nogood)
+        return True
+
+    def __contains__(self, nogood: Nogood) -> bool:
+        return nogood in self._all
+
+    def __len__(self) -> int:
+        return len(self._all)
+
+    def nogoods(self) -> Iterator[Nogood]:
+        """All stored nogoods (no defined order between buckets)."""
+        return iter(self._all)
+
+    def for_value(self, value: Value) -> List[Nogood]:
+        """The nogoods that could be violated when the owner takes *value*.
+
+        This is the bucket binding the owner to *value* plus the
+        unconditional bucket. The returned list is freshly built only when
+        unconditional nogoods exist; the common path returns the bucket
+        itself (callers must not mutate it).
+        """
+        bucket = self._by_value.get(value, _EMPTY)
+        if not self._unconditional:
+            return bucket
+        return bucket + self._unconditional
+
+    # -- evaluation (cost-counted) ----------------------------------------
+
+    def is_violated(
+        self, nogood: Nogood, view: AgentView, own_value: Value
+    ) -> bool:
+        """Test *nogood* against *view* with the owner set to *own_value*.
+
+        Counts exactly one nogood check. A nogood is violated when every one
+        of its pairs is matched — by *own_value* for the owner's variable and
+        by the view for others. Variables the view does not know cannot match,
+        so a nogood over unknown variables is never violated (the agent will
+        have requested those values; until they arrive the nogood is inert).
+        """
+        self.counter.bump()
+        own_variable = self.own_variable
+        for variable, value in nogood.pairs:
+            if variable == own_variable:
+                if value != own_value:
+                    return False
+            else:
+                entry = view.entry(variable)
+                if entry is None or entry.value != value:
+                    return False
+        return True
+
+    # -- priority classification (not cost-counted) ------------------------
+
+    def priority_key_of(self, nogood: Nogood, view: AgentView) -> OrderKey:
+        """The nogood's priority key under the priorities recorded in *view*.
+
+        Defined by the paper as the lowest-ranked variable in the nogood
+        other than the owner's. Unknown variables contribute priority 0.
+
+        Keys are cached per view priority-version: they are consulted on
+        every candidate-value scan but only change when some priority does
+        (i.e. on backtracks), which makes this the store's hottest cacheable
+        computation by a wide margin.
+        """
+        if (
+            self._key_cache_view is not view
+            or self._key_cache_version != view.priority_version
+        ):
+            self._key_cache = {}
+            self._key_cache_view = view
+            self._key_cache_version = view.priority_version
+        key = self._key_cache.get(nogood)
+        if key is None:
+            key = nogood_priority_key(
+                (view.priority_of(variable), variable)
+                for variable in nogood.variables
+                if variable != self.own_variable
+            )
+            self._key_cache[nogood] = key
+        return key
+
+    def is_higher(
+        self, nogood: Nogood, view: AgentView, own_priority: int
+    ) -> bool:
+        """True if *nogood* ranks higher than the owner's variable."""
+        return self.priority_key_of(nogood, view) > order_key(
+            own_priority, self.own_variable
+        )
+
+    # -- composite queries used by the algorithms ---------------------------
+
+    def violated_higher(
+        self,
+        view: AgentView,
+        own_value: Value,
+        own_priority: int,
+    ) -> List[Nogood]:
+        """The higher nogoods violated with the owner at *own_value*.
+
+        Each violation test on a higher nogood costs one check; lower
+        nogoods are filtered out by priority without a violation test (and
+        without a check), matching the paper's rule that an agent "only
+        performs this test for a nogood whose priority is higher".
+        """
+        my_key = order_key(own_priority, self.own_variable)
+        violated = []
+        for nogood in self.for_value(own_value):
+            if self.priority_key_of(nogood, view) > my_key and self.is_violated(
+                nogood, view, own_value
+            ):
+                violated.append(nogood)
+        return violated
+
+    def count_violated_lower(
+        self,
+        view: AgentView,
+        own_value: Value,
+        own_priority: int,
+    ) -> int:
+        """How many lower nogoods are violated with the owner at *own_value*."""
+        my_key = order_key(own_priority, self.own_variable)
+        count = 0
+        for nogood in self.for_value(own_value):
+            if self.priority_key_of(nogood, view) <= my_key and self.is_violated(
+                nogood, view, own_value
+            ):
+                count += 1
+        return count
+
+    def count_violated(self, view: AgentView, own_value: Value) -> int:
+        """How many stored nogoods are violated with the owner at *own_value*."""
+        count = 0
+        for nogood in self.for_value(own_value):
+            if self.is_violated(nogood, view, own_value):
+                count += 1
+        return count
+
+    def __repr__(self) -> str:
+        return (
+            f"NogoodStore(x{self.own_variable}, {len(self._all)} nogoods, "
+            f"{self.counter.total} checks)"
+        )
+
+
+_EMPTY: List[Nogood] = []
+
+
+class LinearNogoodStore(NogoodStore):
+    """A store without the per-value index, for the ablation benchmark.
+
+    Every candidate-value test scans all stored nogoods. Functionally
+    identical to :class:`NogoodStore` (nogoods binding the owner to a
+    different value simply fail their violation test), but each such failed
+    test costs a check — this is what the per-value index saves, and
+    ``benchmarks/bench_ablation_store.py`` measures the difference.
+    """
+
+    def for_value(self, value: Value) -> List[Nogood]:  # noqa: ARG002
+        return list(self._all)

@@ -1,0 +1,172 @@
+"""Extension experiment: the algorithms on other kinds of networks.
+
+Section 5 of the paper: "our distributed constraint satisfaction algorithms
+are designed for a fully asynchronous distributed system, and thereby can
+work on any type of distributed systems. We should analyze the performance
+of our algorithm on other types of distributed systems."
+
+This module does that analysis. The same agents run unchanged on:
+
+* ``sync`` — the paper's synchronous network (one cycle per message);
+* ``fixed(d)`` — every message takes d cycles (Figure 2's delay, realized
+  rather than modeled);
+* ``random(d)`` — per-message uniform delay in 1..d with FIFO channels;
+* ``random(d)/reorder`` — as above without FIFO: messages can overtake.
+
+Measured cycles grow with delay; the ratio against the synchronous run
+shows how close the growth is to the linear model Figure 2 assumes, and
+the reorder rows demonstrate the algorithms' tolerance to the harshest
+asynchrony (correctness is asserted, not assumed: every solved trial's
+assignment is verified).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from ..algorithms.registry import AlgorithmSpec, algorithm_by_name
+from ..core.exceptions import ModelError
+from ..runtime.network import (
+    FixedDelayNetwork,
+    LossyNetwork,
+    Network,
+    RandomDelayNetwork,
+    SynchronousNetwork,
+)
+from ..runtime.random_source import Seed, derive_rng, derive_seed
+from .paper import Scale, instances_for, scale_from_environment
+from .runner import CellResult, run_cell
+from .tables import Table, TableRow
+
+
+@dataclass(frozen=True)
+class NetworkModel:
+    """A named network construction recipe."""
+
+    name: str
+    factory: Callable[[Seed], Network]
+
+
+def network_model(spec: str) -> NetworkModel:
+    """Parse a network spec: ``sync``, ``fixed:3``, ``random:3``,
+    ``random:3:reorder``, ``lossy:30`` (percent loss)."""
+    parts = spec.split(":")
+    kind = parts[0]
+    if kind == "sync":
+        return NetworkModel("sync", lambda seed: SynchronousNetwork())
+    if kind == "lossy":
+        percent = int(parts[1]) if len(parts) > 1 else 30
+        return NetworkModel(
+            f"lossy({percent}%)",
+            lambda seed, p=percent: LossyNetwork(
+                loss_rate=p / 100.0,
+                rng=derive_rng(seed, "asynchrony-lossy"),
+            ),
+        )
+    if kind == "fixed":
+        delay = int(parts[1]) if len(parts) > 1 else 2
+        return NetworkModel(
+            f"fixed({delay})",
+            lambda seed, d=delay: FixedDelayNetwork(d),
+        )
+    if kind == "random":
+        delay = int(parts[1]) if len(parts) > 1 else 3
+        fifo = not (len(parts) > 2 and parts[2] == "reorder")
+        suffix = "" if fifo else "/reorder"
+        return NetworkModel(
+            f"random({delay}){suffix}",
+            lambda seed, d=delay, f=fifo: RandomDelayNetwork(
+                max_delay=d, rng=derive_rng(seed, "asynchrony-net"), fifo=f
+            ),
+        )
+    raise ModelError(f"unknown network spec {spec!r}")
+
+
+#: The default grid of network models for the extension table.
+DEFAULT_NETWORKS = (
+    "sync",
+    "fixed:2",
+    "fixed:4",
+    "random:4",
+    "random:4:reorder",
+    "lossy:30",
+)
+
+
+def run_asynchrony_table(
+    scale: Optional[Scale] = None,
+    seed: Seed = 0,
+    algorithms: Sequence[str] = ("AWC+Rslv", "DB"),
+    networks: Sequence[str] = DEFAULT_NETWORKS,
+) -> Table:
+    """Cycles under different network models, on the coloring workload.
+
+    Uses the smallest coloring cell of *scale* so the sweep stays cheap:
+    the point is the delay response, not the problem size.
+    """
+    if scale is None:
+        scale = scale_from_environment()
+    n, num_instances, inits = scale.coloring[0]
+    instances = instances_for("d3c", n, num_instances, seed)
+    table = Table(
+        title=(
+            f"Extension: network models (distributed 3-coloring n={n}, "
+            f"scale={scale.name})"
+        )
+    )
+    for algorithm_name in algorithms:
+        spec = algorithm_by_name(algorithm_name)
+        for network_spec in networks:
+            model = network_model(network_spec)
+            cell = run_cell(
+                instances,
+                spec,
+                inits_per_instance=inits,
+                master_seed=derive_seed(
+                    seed, "asynchrony", algorithm_name, model.name
+                ),
+                n=n,
+                max_cycles=scale.max_cycles,
+                network_factory=model.factory,
+            )
+            _verify_solutions(cell, instances)
+            row = TableRow(
+                n=n,
+                label=f"{spec.name} @ {model.name}",
+                cycle=cell.mean_cycle,
+                maxcck=cell.mean_maxcck,
+                percent=cell.percent_solved,
+            )
+            table.add(row)
+    return table
+
+
+def _verify_solutions(cell: CellResult, instances) -> None:
+    """Assert every solved trial's assignment actually solves its problem.
+
+    Trials are grouped per instance in run_cell's order, so the mapping
+    back is positional.
+    """
+    inits = len(cell.trials) // len(instances) if instances else 0
+    for index, trial in enumerate(cell.trials):
+        if not trial.solved:
+            continue
+        problem = instances[index // inits]
+        if not problem.is_solution(trial.assignment):
+            raise ModelError(
+                "asynchrony run produced an invalid 'solution' — "
+                "network model broke the algorithm"
+            )
+
+
+def delay_response(
+    table: Table, algorithm_label: str
+) -> List[Tuple[str, float]]:
+    """The (network, mean cycle) series of one algorithm from *table*."""
+    series = []
+    for row in table.rows:
+        label, separator, network = row.label.partition(" @ ")
+        if separator and label == algorithm_label:
+            series.append((network, row.cycle))
+    return series

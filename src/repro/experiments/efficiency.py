@@ -1,0 +1,105 @@
+"""Figure 2's efficiency model: total time as a function of message delay.
+
+Section 4.3: "We assume that one nogood check amounts to one computational
+time-unit and a communication delay between cycles amounts to the designated
+number of time-unit. The figure illustrates total number of time-unit vs
+communication delay when each algorithm consumes cycle and maxcck shown in
+Table 10."
+
+So an algorithm consuming ``cycle`` cycles with ``maxcck`` total worst-agent
+checks costs
+
+    total(delay) = maxcck + cycle * delay
+
+time-units on a system whose per-cycle communication delay is ``delay``
+check-equivalents. AWC's line starts higher (more computation) but is
+flatter (fewer cycles); the crossover delay — where AWC overtakes DB — is
+the paper's headline for when learning pays off. Sanity check against the
+paper: Table 10 at n = 50 gives (38892.5 - 11691.1) / (690.1 - 130.8) ≈ 48.6,
+matching the quoted "around 50 time-unit".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class CostLine:
+    """One algorithm's (cycle, maxcck) consumption, as a line over delay."""
+
+    label: str
+    cycle: float
+    maxcck: float
+
+    def total_time(self, delay: float) -> float:
+        """Total time-units at per-cycle communication *delay*."""
+        return self.maxcck + self.cycle * delay
+
+
+def crossover_delay(a: CostLine, b: CostLine) -> Optional[float]:
+    """The delay at which lines *a* and *b* cross, or None if they do not.
+
+    Only a crossover at a non-negative delay is meaningful; parallel lines
+    and intersections at negative delay return None.
+    """
+    slope_difference = b.cycle - a.cycle
+    if slope_difference == 0:
+        return None
+    delay = (a.maxcck - b.maxcck) / slope_difference
+    return delay if delay >= 0 else None
+
+
+@dataclass(frozen=True)
+class EfficiencyPoint:
+    """One x-position of the Figure 2 plot."""
+
+    delay: float
+    totals: Tuple[Tuple[str, float], ...]
+
+
+def figure_series(
+    lines: Sequence[CostLine], delays: Sequence[float]
+) -> List[EfficiencyPoint]:
+    """Evaluate all *lines* at the given *delays* (the plotted series)."""
+    return [
+        EfficiencyPoint(
+            delay=delay,
+            totals=tuple((line.label, line.total_time(delay)) for line in lines),
+        )
+        for delay in delays
+    ]
+
+
+def format_figure(
+    lines: Sequence[CostLine],
+    delays: Sequence[float],
+    title: str = "Estimated efficiency (total time-units vs delay)",
+) -> str:
+    """Render the Figure 2 series as an aligned text table."""
+    points = figure_series(lines, delays)
+    header = ["delay"] + [line.label for line in lines]
+    body = [
+        [f"{point.delay:g}"] + [f"{total:.1f}" for _label, total in point.totals]
+        for point in points
+    ]
+    widths = [
+        max(len(header[i]), *(len(row[i]) for row in body))
+        for i in range(len(header))
+    ]
+    out = [title]
+    out.append("  ".join(header[i].rjust(widths[i]) for i in range(len(header))))
+    out.append("  ".join("-" * width for width in widths))
+    for row in body:
+        out.append("  ".join(row[i].rjust(widths[i]) for i in range(len(row))))
+    pairwise = []
+    for i, a in enumerate(lines):
+        for b in lines[i + 1:]:
+            delay = crossover_delay(a, b)
+            if delay is not None:
+                pairwise.append(
+                    f"crossover {a.label} / {b.label}: delay ≈ {delay:.1f}"
+                )
+    out.extend(pairwise)
+    return "\n".join(out)

@@ -1,0 +1,83 @@
+"""Figure 2: estimated efficiency of AWC+4thRslv vs DB over message delay.
+
+The paper plots the efficiency model of :mod:`repro.experiments.efficiency`
+using the measured (cycle, maxcck) of Table 10 at n = 50. This module runs
+those two cells and renders the figure's series plus the crossover delay —
+the point past which AWC's learning pays for its computation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..algorithms.registry import algorithm_by_name
+from ..runtime.random_source import Seed
+from .efficiency import CostLine, crossover_delay, format_figure
+from .paper import Scale, run_table_cell, scale_from_environment
+
+
+@dataclass(frozen=True)
+class Figure2Result:
+    """The two cost lines, the crossover, and the rendered figure."""
+
+    awc: CostLine
+    db: CostLine
+    crossover: Optional[float]
+    delays: Tuple[float, ...]
+    text: str
+
+
+def default_delays(crossover: Optional[float]) -> Tuple[float, ...]:
+    """Delay grid covering the crossover comfortably (or 0..100 without one)."""
+    upper = 100.0 if crossover is None else max(10.0, 2.5 * crossover)
+    steps = 10
+    return tuple(round(upper * i / steps, 2) for i in range(steps + 1))
+
+
+def run_figure2(
+    scale: Optional[Scale] = None,
+    seed: Seed = 0,
+    delays: Optional[Sequence[float]] = None,
+) -> Figure2Result:
+    """Measure the Figure 2 cells and evaluate the efficiency model."""
+    if scale is None:
+        scale = scale_from_environment()
+    n, num_instances, inits = scale.onesat[0]
+    awc_cell = run_table_cell(
+        "d3s1",
+        n,
+        num_instances,
+        inits,
+        algorithm_by_name("AWC+4thRslv"),
+        seed,
+        scale.max_cycles,
+    )
+    db_cell = run_table_cell(
+        "d3s1",
+        n,
+        num_instances,
+        inits,
+        algorithm_by_name("DB"),
+        seed,
+        scale.max_cycles,
+    )
+    awc_line = CostLine("AWC+4thRslv", awc_cell.mean_cycle, awc_cell.mean_maxcck)
+    db_line = CostLine("DB", db_cell.mean_cycle, db_cell.mean_maxcck)
+    crossing = crossover_delay(awc_line, db_line)
+    grid = tuple(delays) if delays is not None else default_delays(crossing)
+    text = format_figure(
+        [awc_line, db_line],
+        grid,
+        title=(
+            f"Figure 2 (d3s1 n={n}, scale={scale.name}): "
+            "total time-units vs communication delay"
+        ),
+    )
+    return Figure2Result(
+        awc=awc_line,
+        db=db_line,
+        crossover=crossing,
+        delays=grid,
+        text=text,
+    )

@@ -1,0 +1,406 @@
+"""Full reproduction report: every table, Figure 2, and shape verdicts.
+
+:func:`generate_report` runs the complete experiment suite at a chosen
+scale and renders a Markdown report with, for every table:
+
+* the measured cells (mean ``cycle``, mean ``maxcck``, percent solved);
+* the paper's reported values for the same table;
+* automated **shape checks** — the paper's qualitative claims, evaluated
+  on the measured numbers (e.g. "No learning needs more cycles than Rslv",
+  "Mcs needs more checks than Rslv", "AWC beats DB on cycle, DB beats AWC
+  on maxcck").
+
+This is how EXPERIMENTS.md is produced (``repro report -o EXPERIMENTS.md``),
+so the recorded comparison is regenerable by anyone.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..runtime.random_source import Seed
+from .figure2 import Figure2Result, run_figure2
+from .paper import (
+    FAMILY_TITLES,
+    Scale,
+    TABLE_SPECS,
+    run_table,
+    run_table4,
+    scale_from_environment,
+)
+from .reference import ALL_TABLES, FIGURE2_CROSSOVERS, TABLE4
+from .tables import Table, TableRow
+
+
+@dataclass(frozen=True)
+class ShapeCheck:
+    """One qualitative claim of the paper, evaluated on measured data."""
+
+    description: str
+    passed: bool
+
+    def as_markdown(self) -> str:
+        mark = "✅" if self.passed else "❌"
+        return f"- {mark} {self.description}"
+
+
+@dataclass
+class ReportResult:
+    """The rendered report plus its check tally."""
+
+    text: str
+    checks: List[ShapeCheck] = field(default_factory=list)
+
+    @property
+    def passed(self) -> int:
+        return sum(1 for check in self.checks if check.passed)
+
+    @property
+    def total(self) -> int:
+        return len(self.checks)
+
+
+def _largest_n(table: Table) -> int:
+    return max(row.n for row in table.rows)
+
+
+def _row(table: Table, n: int, label: str) -> TableRow:
+    row = table.row_for(n, label)
+    if row is None:
+        raise KeyError(f"missing cell ({n}, {label})")
+    return row
+
+
+def _learning_table_checks(table: Table, labels: Tuple[str, ...]) -> List[ShapeCheck]:
+    """Tables 1–3: Rslv solves all, beats No on cycle, beats Mcs on maxcck."""
+    n = _largest_n(table)
+    rslv = _row(table, n, "AWC+Rslv")
+    mcs = _row(table, n, "AWC+Mcs")
+    no = _row(table, n, "AWC+No")
+    return [
+        ShapeCheck(
+            f"n={n}: AWC+Rslv solves every trial within the cap",
+            rslv.percent == 100.0,
+        ),
+        ShapeCheck(
+            f"n={n}: no learning needs more cycles than Rslv "
+            f"({no.cycle:.1f} vs {rslv.cycle:.1f})",
+            no.cycle > rslv.cycle,
+        ),
+        ShapeCheck(
+            f"n={n}: Mcs needs more nogood checks than Rslv "
+            f"({mcs.maxcck:.1f} vs {rslv.maxcck:.1f})",
+            mcs.maxcck > rslv.maxcck,
+        ),
+        ShapeCheck(
+            f"n={n}: Mcs stays competitive with Rslv on cycle "
+            f"(within 2x: {mcs.cycle:.1f} vs {rslv.cycle:.1f})",
+            mcs.cycle <= 2 * max(rslv.cycle, 1.0),
+        ),
+    ]
+
+
+def _bounded_table_checks(table: Table, labels: Tuple[str, ...]) -> List[ShapeCheck]:
+    """Tables 5–7: some size bound cuts maxcck without wrecking cycle."""
+    n = _largest_n(table)
+    rslv = _row(table, n, "AWC+Rslv")
+    bounded = [
+        _row(table, n, label) for label in labels if label != "AWC+Rslv"
+    ]
+    best = min(bounded, key=lambda row: row.maxcck)
+    return [
+        ShapeCheck(
+            f"n={n}: a size bound reduces maxcck below unrestricted Rslv "
+            f"({best.label}: {best.maxcck:.1f} vs {rslv.maxcck:.1f})",
+            best.maxcck < rslv.maxcck,
+        ),
+        ShapeCheck(
+            f"n={n}: that bound keeps cycle within 2x of Rslv "
+            f"({best.cycle:.1f} vs {rslv.cycle:.1f})",
+            best.cycle <= 2 * max(rslv.cycle, 1.0),
+        ),
+        ShapeCheck(
+            f"n={n}: every size-bounded variant still solves every trial",
+            all(row.percent == 100.0 for row in bounded),
+        ),
+    ]
+
+
+def _db_table_checks(table: Table, labels: Tuple[str, ...]) -> List[ShapeCheck]:
+    """Tables 8–10: AWC wins cycle, DB wins maxcck."""
+    awc_label = next(label for label in labels if label.startswith("AWC"))
+    checks = []
+    for n in sorted({row.n for row in table.rows}):
+        awc_row = _row(table, n, awc_label)
+        db_row = _row(table, n, "DB")
+        checks.append(
+            ShapeCheck(
+                f"n={n}: {awc_label} needs fewer cycles than DB "
+                f"({awc_row.cycle:.1f} vs {db_row.cycle:.1f})",
+                awc_row.cycle < db_row.cycle,
+            )
+        )
+        checks.append(
+            ShapeCheck(
+                f"n={n}: DB needs fewer nogood checks than {awc_label} "
+                f"({db_row.maxcck:.1f} vs {awc_row.maxcck:.1f})",
+                db_row.maxcck < awc_row.maxcck,
+            )
+        )
+    return checks
+
+
+_CHECKERS: Dict[int, Callable[[Table, Tuple[str, ...]], List[ShapeCheck]]] = {
+    1: _learning_table_checks,
+    2: _learning_table_checks,
+    3: _learning_table_checks,
+    5: _bounded_table_checks,
+    6: _bounded_table_checks,
+    7: _bounded_table_checks,
+    8: _db_table_checks,
+    9: _db_table_checks,
+    10: _db_table_checks,
+}
+
+
+def _table_markdown(table: Table) -> List[str]:
+    extra_names: List[str] = []
+    for row in table.rows:
+        for name, _value in row.extras:
+            if name not in extra_names:
+                extra_names.append(name)
+    header = ["n", "algorithm", "cycle", "maxcck", "%"] + extra_names
+    lines = [
+        "| " + " | ".join(header) + " |",
+        "|" + "|".join("---" for _ in header) + "|",
+    ]
+    for row in table.rows:
+        extras = dict(row.extras)
+        cells = [
+            str(row.n),
+            row.label,
+            f"{row.cycle:.1f}",
+            f"{row.maxcck:.1f}",
+            f"{row.percent:.0f}",
+        ] + [
+            f"{extras[name]:.1f}" if name in extras else ""
+            for name in extra_names
+        ]
+        lines.append("| " + " | ".join(cells) + " |")
+    return lines
+
+
+def _reference_markdown(number: int) -> List[str]:
+    reference = ALL_TABLES.get(number)
+    if reference is None:
+        return []
+    lines = [
+        "",
+        "Paper reported:",
+        "",
+        "| n | algorithm | cycle | maxcck | % |",
+        "|---|---|---|---|---|",
+    ]
+    for (n, label), (cycle, maxcck, percent) in sorted(reference.items()):
+        cycle_text = f"{cycle:.1f}" if cycle == cycle else "—"
+        maxcck_text = f"{maxcck:.1f}" if maxcck == maxcck else "—"
+        lines.append(
+            f"| {n} | {label} | {cycle_text} | {maxcck_text} | "
+            f"{percent:.0f} |"
+        )
+    return lines
+
+
+def _table4_checks(tables: List[Table]) -> List[ShapeCheck]:
+    checks = []
+    for table in tables:
+        n = _largest_n(table)
+        rec = _row(table, n, "AWC+Rslv/rec")
+        norec = _row(table, n, "AWC+Rslv/norec")
+        rec_redundant = dict(rec.extras)["redundant"]
+        norec_redundant = dict(norec.extras)["redundant"]
+        family = table.title.split("[")[1].split("]")[0]
+        checks.append(
+            ShapeCheck(
+                f"{family} n={n}: norec regenerates more redundant nogoods "
+                f"than rec ({norec_redundant:.1f} vs {rec_redundant:.1f})",
+                norec_redundant > rec_redundant,
+            )
+        )
+    return checks
+
+
+def _figure2_section(result: Figure2Result) -> Tuple[List[str], List[ShapeCheck]]:
+    lines = ["## Figure 2 — estimated efficiency vs communication delay", ""]
+    lines.append("```")
+    lines.append(result.text)
+    lines.append("```")
+    lines.append("")
+    if result.crossover is not None:
+        lines.append(
+            f"Measured crossover: **{result.crossover:.1f} time-units** "
+            f"(paper, at its n=50 scale: around "
+            f"{FIGURE2_CROSSOVERS[('d3s1', 50)]:.0f})."
+        )
+    else:
+        lines.append(
+            "No crossover at this scale: AWC dominates at every delay "
+            "(its nogood stores stay small on instances this size, so DB "
+            "never recovers the cycle deficit)."
+        )
+    checks = [
+        ShapeCheck(
+            "Figure 2: DB's line is steeper in delay (more cycles) than "
+            f"AWC+4thRslv's ({result.db.cycle:.1f} vs {result.awc.cycle:.1f})",
+            result.db.cycle > result.awc.cycle,
+        )
+    ]
+    return lines, checks
+
+
+def generate_report(
+    scale: Optional[Scale] = None,
+    seed: Seed = 0,
+    include_extensions: bool = False,
+) -> ReportResult:
+    """Run everything and render the Markdown reproduction report.
+
+    With *include_extensions* the report also covers the library's
+    extension experiments: the Section 4.2 size-bound sweep and the
+    Section 5 network-model analysis.
+    """
+    if scale is None:
+        scale = scale_from_environment()
+    started = time.perf_counter()
+    lines: List[str] = []
+    all_checks: List[ShapeCheck] = []
+
+    for number in sorted(TABLE_SPECS):
+        family, labels = TABLE_SPECS[number]
+        table = run_table(number, scale=scale, seed=seed)
+        lines.append(f"## Table {number} — {FAMILY_TITLES[family]}")
+        lines.append("")
+        lines.extend(_table_markdown(table))
+        lines.extend(_reference_markdown(number))
+        checker = _CHECKERS.get(number)
+        if checker is not None:
+            checks = checker(table, labels)
+            all_checks.extend(checks)
+            lines.append("")
+            lines.append("Shape checks:")
+            lines.append("")
+            lines.extend(check.as_markdown() for check in checks)
+        lines.append("")
+        if number == 3:
+            lines.extend(_table4_section(scale, seed, all_checks))
+
+    figure_lines, figure_checks = _figure2_section(
+        run_figure2(scale=scale, seed=seed)
+    )
+    lines.extend(figure_lines)
+    all_checks.extend(figure_checks)
+    lines.append("")
+
+    if include_extensions:
+        lines.extend(_extensions_section(scale, seed, all_checks))
+
+    # Imported here, not at module top: repro/__init__ imports this package,
+    # so a top-level "from .. import __version__" would be circular.
+    from .. import __version__
+
+    elapsed = time.perf_counter() - started
+    passed = sum(1 for check in all_checks if check.passed)
+    header = [
+        "# EXPERIMENTS — paper vs measured",
+        "",
+        "Reproduction of Hirayama & Yokoo, *The Effect of Nogood Learning in",
+        "Distributed Constraint Satisfaction* (ICDCS 2000).",
+        "",
+        f"- library version: {__version__}",
+        f"- scale: **{scale.name}** "
+        "(see `repro.experiments.paper.Scale`; the paper scale is "
+        "n up to 200 with 100 trials per cell)",
+        f"- master seed: {seed}",
+        f"- total run time: {elapsed:.1f}s",
+        f"- shape checks passed: **{passed}/{len(all_checks)}**",
+        "",
+        "Absolute numbers are not expected to match the paper "
+        "(different RNG streams, regenerated instances, a pure-Python "
+        "substrate); the shape checks encode the paper's qualitative "
+        "claims, which are what this reproduction verifies.",
+        "",
+        "Regenerate with: "
+        f"`REPRO_SCALE={scale.name} repro report -o EXPERIMENTS.md "
+        f"--seed {seed}"
+        + (" --extensions" if include_extensions else "")
+        + "`",
+        "",
+    ]
+    text = "\n".join(header + lines)
+    return ReportResult(text=text, checks=all_checks)
+
+
+def _extensions_section(
+    scale: Scale, seed: Seed, all_checks: List[ShapeCheck]
+) -> List[str]:
+    """Beyond the paper: the k-sweep and the network-model analysis."""
+    from .asynchrony import delay_response, run_asynchrony_table
+    from .sweep import best_bound, sweep_size_bound
+
+    lines = ["## Extensions (beyond the paper's tables)", ""]
+    lines.append(
+        "### Size-bound sweep — Section 4.2's \"set k empirically\""
+    )
+    lines.append("")
+    for family in ("d3c", "d3s", "d3s1"):
+        table = sweep_size_bound(family, scale=scale, seed=seed)
+        lines.extend(_table_markdown(table))
+        best = best_bound(table)
+        lines.append("")
+        lines.append(f"Empirical best bound for `{family}`: **{best}**.")
+        lines.append("")
+    lines.append("### Network models — Section 5's future-work axis")
+    lines.append("")
+    asynchrony = run_asynchrony_table(scale=scale, seed=seed)
+    lines.extend(_table_markdown(asynchrony))
+    lines.append("")
+    for algorithm in ("AWC+Rslv", "DB"):
+        series = dict(delay_response(asynchrony, algorithm))
+        check = ShapeCheck(
+            f"{algorithm}: cycles grow with fixed delay "
+            f"(sync {series['sync']:.1f} → fixed(2) "
+            f"{series['fixed(2)']:.1f} → fixed(4) {series['fixed(4)']:.1f})",
+            series["sync"] < series["fixed(2)"] < series["fixed(4)"],
+        )
+        all_checks.append(check)
+        lines.append(check.as_markdown())
+    lines.append("")
+    return lines
+
+
+def _table4_section(
+    scale: Scale, seed: Seed, all_checks: List[ShapeCheck]
+) -> List[str]:
+    lines = ["## Table 4 — redundant nogood generation (rec vs norec)", ""]
+    tables = run_table4(scale=scale, seed=seed)
+    for table in tables:
+        lines.append(f"### {table.title}")
+        lines.append("")
+        lines.extend(_table_markdown(table))
+        lines.append("")
+    lines.append("Paper reported (mean redundant generations):")
+    lines.append("")
+    lines.append("| family | n | policy | redundant |")
+    lines.append("|---|---|---|---|")
+    for (family, n, label), value in sorted(TABLE4.items()):
+        lines.append(f"| {family} | {n} | {label} | {value:.1f} |")
+    checks = _table4_checks(tables)
+    all_checks.extend(checks)
+    lines.append("")
+    lines.append("Shape checks:")
+    lines.append("")
+    lines.extend(check.as_markdown() for check in checks)
+    lines.append("")
+    return lines

@@ -1,0 +1,151 @@
+"""Running trials and cells of the paper's experiments.
+
+The paper's unit of measurement is the *trial*: one problem instance, one
+random set of initial values, one algorithm, run to solution or to the
+10 000-cycle cap. A *cell* of a table aggregates 100 trials (e.g. 10
+instances × 10 initial-value sets) into mean ``cycle``, mean ``maxcck`` and
+the percentage of trials finished within the cap — capped trials contribute
+"the data at that time", exactly as the paper describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..algorithms.registry import AlgorithmSpec
+from ..core.problem import DisCSP
+from ..core.variables import Value, VariableId
+from ..runtime.metrics import MetricsCollector
+from ..runtime.network import Network, SynchronousNetwork
+from ..runtime.random_source import Seed, derive_rng, derive_seed
+from ..runtime.simulator import (
+    DEFAULT_MAX_CYCLES,
+    RunResult,
+    SynchronousSimulator,
+)
+
+#: Builds a fresh network per trial (delay models carry per-trial RNG state).
+NetworkFactory = Callable[[Seed], Network]
+
+
+def synchronous_network_factory(seed: Seed) -> Network:
+    """The default: the paper's one-cycle-per-message network."""
+    del seed
+    return SynchronousNetwork()
+
+
+def random_initial_assignment(
+    problem: DisCSP, seed: Seed
+) -> Dict[VariableId, Value]:
+    """The trial's random initial values, drawn deterministically from *seed*."""
+    rng = derive_rng(seed, "initial-values")
+    return {
+        variable: rng.choice(problem.csp.domain_of(variable).values)
+        for variable in problem.variables
+    }
+
+
+def run_trial(
+    problem: DisCSP,
+    algorithm: AlgorithmSpec,
+    seed: Seed,
+    max_cycles: int = DEFAULT_MAX_CYCLES,
+    network_factory: NetworkFactory = synchronous_network_factory,
+) -> RunResult:
+    """One trial: build agents, simulate, return the run's measurements."""
+    metrics = MetricsCollector()
+    initial = random_initial_assignment(problem, seed)
+    agents = algorithm.build(problem, metrics, seed, initial)
+    simulator = SynchronousSimulator(
+        problem,
+        agents,
+        network=network_factory(seed),
+        max_cycles=max_cycles,
+        metrics=metrics,
+    )
+    return simulator.run()
+
+
+@dataclass
+class CellResult:
+    """Aggregated measurements of one table cell."""
+
+    label: str
+    n: int
+    trials: List[RunResult] = field(default_factory=list)
+
+    @property
+    def num_trials(self) -> int:
+        return len(self.trials)
+
+    @property
+    def mean_cycle(self) -> float:
+        """Mean cycles over all trials (capped trials count at the cap)."""
+        return _mean([trial.cycles for trial in self.trials])
+
+    @property
+    def mean_maxcck(self) -> float:
+        """Mean maxcck over all trials."""
+        return _mean([trial.maxcck for trial in self.trials])
+
+    @property
+    def percent_solved(self) -> float:
+        """Share of trials that found a solution within the cap, in percent."""
+        if not self.trials:
+            return 0.0
+        solved = sum(1 for trial in self.trials if trial.solved)
+        return 100.0 * solved / len(self.trials)
+
+    @property
+    def mean_redundant_generations(self) -> float:
+        """Mean redundant nogood generations (Table 4's measure)."""
+        return _mean([trial.redundant_generations for trial in self.trials])
+
+    @property
+    def mean_generated(self) -> float:
+        """Mean total nogood generations per trial."""
+        return _mean([trial.generated_nogoods for trial in self.trials])
+
+    @property
+    def total_wall_time(self) -> float:
+        """Total wall-clock seconds spent simulating this cell."""
+        return sum(trial.wall_time for trial in self.trials)
+
+
+def _mean(values: Sequence[float]) -> float:
+    if not values:
+        return 0.0
+    return sum(values) / len(values)
+
+
+def run_cell(
+    instances: Sequence[DisCSP],
+    algorithm: AlgorithmSpec,
+    inits_per_instance: int,
+    master_seed: Seed,
+    n: int,
+    max_cycles: int = DEFAULT_MAX_CYCLES,
+    network_factory: NetworkFactory = synchronous_network_factory,
+) -> CellResult:
+    """One cell: every instance × every initial-value set.
+
+    The trial seeds are derived from ``(master_seed, instance index, init
+    index)`` so cells are reproducible and instances are independent.
+    """
+    cell = CellResult(label=algorithm.name, n=n)
+    for instance_index, problem in enumerate(instances):
+        for init_index in range(inits_per_instance):
+            trial_seed = derive_seed(
+                master_seed, "trial", instance_index, init_index
+            )
+            cell.trials.append(
+                run_trial(
+                    problem,
+                    algorithm,
+                    trial_seed,
+                    max_cycles=max_cycles,
+                    network_factory=network_factory,
+                )
+            )
+    return cell

@@ -1,0 +1,109 @@
+"""Parameter sweeps: the size bound k, and problem-size scaling.
+
+Section 4.2 ends with: "the optimal setting for k depends on problems.
+Since we do not have a way to determine it optimally for now, it should be
+set empirically." This module is that empirical procedure, packaged:
+
+* :func:`sweep_size_bound` runs ``kthRslv`` for a range of k (plus
+  unrestricted Rslv) on one problem family and reports, per k, the paper's
+  two costs — making the k-vs-cost trade-off and the per-family optimum
+  directly visible;
+* :func:`sweep_problem_size` runs one algorithm across a range of n,
+  exposing the scaling behaviour behind the tables' row axis.
+
+Both return plain :class:`~repro.experiments.tables.Table` objects, so the
+CLI and the report pipeline render them like any paper table.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..algorithms.registry import AlgorithmSpec, awc
+from ..learning.size_bounded import SizeBoundedResolventLearning
+from ..runtime.random_source import Seed, derive_seed
+from .paper import FAMILY_TITLES, Scale, instances_for, scale_from_environment
+from .runner import run_cell
+from .tables import Table, TableRow
+
+#: The k range the paper's Tables 5–7 probe, widened by one on each side.
+DEFAULT_BOUNDS = (2, 3, 4, 5, 6)
+
+
+def sweep_size_bound(
+    family: str,
+    scale: Optional[Scale] = None,
+    seed: Seed = 0,
+    bounds: Sequence[int] = DEFAULT_BOUNDS,
+) -> Table:
+    """``kthRslv`` for each k in *bounds*, plus unrestricted Rslv.
+
+    Uses the largest cell of *family* at the given scale (the trade-off
+    only shows on instances hard enough to learn from).
+    """
+    if scale is None:
+        scale = scale_from_environment()
+    n, num_instances, inits = scale.cells_for(family)[-1]
+    instances = instances_for(family, n, num_instances, seed)
+    table = Table(
+        title=(
+            f"Size-bound sweep ({FAMILY_TITLES[family]}, n={n}, "
+            f"scale={scale.name})"
+        )
+    )
+    specs = [awc("Rslv")] + [
+        awc(SizeBoundedResolventLearning(k)) for k in bounds
+    ]
+    for spec in specs:
+        cell = run_cell(
+            instances,
+            spec,
+            inits_per_instance=inits,
+            master_seed=derive_seed(seed, "k-sweep", family, spec.name),
+            n=n,
+            max_cycles=scale.max_cycles,
+        )
+        table.add(TableRow.from_cell(cell))
+    return table
+
+
+def best_bound(table: Table) -> str:
+    """The label with the lowest maxcck among rows that solved everything.
+
+    This is the "set k empirically" procedure: cheapest per-cycle load
+    without sacrificing completion.
+    """
+    complete = [row for row in table.rows if row.percent == 100.0]
+    candidates = complete if complete else list(table.rows)
+    return min(candidates, key=lambda row: row.maxcck).label
+
+
+def sweep_problem_size(
+    family: str,
+    algorithm: Optional[AlgorithmSpec] = None,
+    scale: Optional[Scale] = None,
+    seed: Seed = 0,
+) -> Table:
+    """One algorithm across every n of *family* at the given scale."""
+    if scale is None:
+        scale = scale_from_environment()
+    if algorithm is None:
+        algorithm = awc("Rslv")
+    table = Table(
+        title=(
+            f"Size scaling: {algorithm.name} on {FAMILY_TITLES[family]} "
+            f"(scale={scale.name})"
+        )
+    )
+    for n, num_instances, inits in scale.cells_for(family):
+        instances = instances_for(family, n, num_instances, seed)
+        cell = run_cell(
+            instances,
+            algorithm,
+            inits_per_instance=inits,
+            master_seed=derive_seed(seed, "n-sweep", family, n),
+            n=n,
+            max_cycles=scale.max_cycles,
+        )
+        table.add(TableRow.from_cell(cell))
+    return table

@@ -1,0 +1,113 @@
+"""Rendering experiment results in the paper's table layout.
+
+Each of the paper's tables is a grid of (n, algorithm/learning label) cells
+with columns ``cycle``, ``maxcck`` and ``%``. :class:`Table` holds the rows
+and renders aligned text; when paper reference values are supplied the
+renderer prints them side by side so shape comparisons are immediate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .runner import CellResult
+
+
+@dataclass(frozen=True)
+class TableRow:
+    """One row: a cell's label and measurements."""
+
+    n: int
+    label: str
+    cycle: float
+    maxcck: float
+    percent: float
+    extras: Tuple[Tuple[str, float], ...] = ()
+
+    @classmethod
+    def from_cell(cls, cell: CellResult, **extras: float) -> "TableRow":
+        return cls(
+            n=cell.n,
+            label=cell.label,
+            cycle=cell.mean_cycle,
+            maxcck=cell.mean_maxcck,
+            percent=cell.percent_solved,
+            extras=tuple(sorted(extras.items())),
+        )
+
+
+@dataclass
+class Table:
+    """A rendered experiment table."""
+
+    title: str
+    rows: List[TableRow] = field(default_factory=list)
+
+    def add(self, row: TableRow) -> None:
+        self.rows.append(row)
+
+    def row_for(self, n: int, label: str) -> Optional[TableRow]:
+        for row in self.rows:
+            if row.n == n and row.label == label:
+                return row
+        return None
+
+    def format_text(
+        self,
+        reference: Optional[Dict[Tuple[int, str], Tuple[float, float, float]]] = None,
+    ) -> str:
+        """Aligned text; *reference* maps (n, label) to the paper's values."""
+        extra_names: List[str] = []
+        for row in self.rows:
+            for name, _value in row.extras:
+                if name not in extra_names:
+                    extra_names.append(name)
+        header = ["n", "learn/alg", "cycle", "maxcck", "%"] + extra_names
+        if reference is not None:
+            header += ["paper cycle", "paper maxcck", "paper %"]
+        body: List[List[str]] = []
+        for row in self.rows:
+            extras = dict(row.extras)
+            cells = [
+                str(row.n),
+                row.label,
+                f"{row.cycle:.1f}",
+                f"{row.maxcck:.1f}",
+                f"{row.percent:.0f}",
+            ]
+            cells += [
+                f"{extras[name]:.1f}" if name in extras else ""
+                for name in extra_names
+            ]
+            if reference is not None:
+                paper = reference.get((row.n, row.label))
+                if paper is None:
+                    cells += ["", "", ""]
+                else:
+                    cycle, maxcck, percent = paper
+                    cells += [
+                        f"{cycle:.1f}" if cycle == cycle else "-",
+                        f"{maxcck:.1f}" if maxcck == maxcck else "-",
+                        f"{percent:.0f}",
+                    ]
+            body.append(cells)
+        widths = [
+            max(len(header[i]), *(len(line[i]) for line in body))
+            if body
+            else len(header[i])
+            for i in range(len(header))
+        ]
+        lines = [self.title]
+        lines.append(
+            "  ".join(name.rjust(widths[i]) for i, name in enumerate(header))
+        )
+        lines.append("  ".join("-" * width for width in widths))
+        for cells in body:
+            lines.append(
+                "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(cells))
+            )
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.format_text()

@@ -1,0 +1,71 @@
+"""Nogood-learning methods for AWC — the paper's experimental axis.
+
+Factory: :func:`learning_method` maps the paper's table labels ("Rslv",
+"Mcs", "No", "3rdRslv", "Rslv/norec", ...) to strategy instances.
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..core.exceptions import ModelError
+from .base import DeadendContext, LearningMethod, ensure_deadend_nogood
+from .mcs import McsLearning, is_conflict_set, minimize_conflict_set
+from .none import NoLearning
+from .recording import (
+    NonRecordingResolventLearning,
+    RecordingResolventLearning,
+)
+from .resolvent import (
+    TIE_BREAKS,
+    ResolventLearning,
+    resolvent_nogood,
+    select_nogood_for_value,
+    stable_nogood_key,
+)
+from .size_bounded import SizeBoundedResolventLearning, ordinal
+
+_KTH_PATTERN = re.compile(r"^(\d+)(st|nd|rd|th)Rslv$")
+
+
+def learning_method(name: str) -> LearningMethod:
+    """Build the learning method named *name* (the paper's table labels).
+
+    Accepted names: ``"Rslv"``, ``"Mcs"``, ``"No"``, ``"Rslv/rec"``,
+    ``"Rslv/norec"``, and ``"<k>thRslv"`` (e.g. ``"3rdRslv"``, ``"5thRslv"``).
+    """
+    if name == "Rslv":
+        return ResolventLearning()
+    if name == "Mcs":
+        return McsLearning()
+    if name == "No":
+        return NoLearning()
+    if name == "Rslv/rec":
+        return RecordingResolventLearning()
+    if name == "Rslv/norec":
+        return NonRecordingResolventLearning()
+    match = _KTH_PATTERN.match(name)
+    if match:
+        return SizeBoundedResolventLearning(int(match.group(1)))
+    raise ModelError(f"unknown learning method: {name!r}")
+
+
+__all__ = [
+    "DeadendContext",
+    "LearningMethod",
+    "McsLearning",
+    "NoLearning",
+    "NonRecordingResolventLearning",
+    "RecordingResolventLearning",
+    "ResolventLearning",
+    "SizeBoundedResolventLearning",
+    "TIE_BREAKS",
+    "ensure_deadend_nogood",
+    "is_conflict_set",
+    "learning_method",
+    "minimize_conflict_set",
+    "ordinal",
+    "resolvent_nogood",
+    "select_nogood_for_value",
+    "stable_nogood_key",
+]

@@ -1,0 +1,102 @@
+"""The learning-method interface that AWC is parameterized over.
+
+The paper's central experimental axis is *which nogood an agent makes at a
+deadend and who records it*. We express each method as a stateless strategy
+object with two responsibilities:
+
+* :meth:`LearningMethod.make_nogood` — called by the deadend agent to
+  construct the nogood it will announce (or None to announce nothing);
+* :meth:`LearningMethod.should_record` — called by each *recipient* to
+  decide whether the announced nogood enters its store (this is where size
+  bounds and the Table 4 ``norec`` variant live).
+
+Strategies are stateless so a single instance is safely shared by all agents
+of a run; per-agent state (like AWC's "previously generated nogood") stays in
+the agent.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Optional
+
+from ..core.assignment import AgentView
+from ..core.exceptions import ModelError
+from ..core.nogood import Nogood
+from ..core.store import NogoodStore
+from ..core.variables import Domain, VariableId
+
+
+@dataclass(frozen=True)
+class DeadendContext:
+    """Everything a learning method may consult at a deadend.
+
+    The context is a read-only window onto the deadend agent: its variable,
+    domain and priority, its current view of other variables, and its nogood
+    store (whose check counter the method must use for every violation test,
+    so the method's cost lands in ``maxcck`` exactly like the paper's).
+    """
+
+    variable: VariableId
+    domain: Domain
+    priority: int
+    view: AgentView
+    store: NogoodStore
+
+
+class LearningMethod(ABC):
+    """A nogood-learning strategy plugged into AWC."""
+
+    #: Short name used in experiment tables ("Rslv", "Mcs", "No", "3rdRslv"...).
+    name: str = "?"
+
+    @abstractmethod
+    def make_nogood(self, context: DeadendContext) -> Optional[Nogood]:
+        """Build the nogood to announce at a deadend.
+
+        Returns None when the method announces nothing (the paper's "no
+        learning": the deadend is broken by the priority raise alone). The
+        returned nogood never mentions the deadend variable itself; the
+        *empty* nogood is a valid return and proves the problem unsolvable.
+        """
+
+    def should_record(self, nogood: Nogood) -> bool:
+        """Whether a recipient should add *nogood* to its store.
+
+        The default records everything, which is the complete-AWC behaviour.
+
+        This policy also gates AWC's "same nogood as before → do nothing"
+        completeness rule: that rule is only sound when the announced nogood
+        is actually recorded somewhere (the recorded copy eventually forces
+        another agent to move). For dropped nogoods — size bounds, the
+        Table 4 ``norec`` variant — AWC instead always breaks the deadend by
+        raising its priority (the paper's footnote 1), otherwise the system
+        can freeze.
+        """
+        del nogood
+        return True
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name})"
+
+
+def ensure_deadend_nogood(context: DeadendContext, nogood: Nogood) -> Nogood:
+    """Validate an internally constructed nogood before announcing it.
+
+    A learned nogood must be a subset of the agent's view and must not
+    mention the agent's own variable; violations indicate a bug in the
+    learning method, not in the caller, so this raises ``ModelError``.
+    """
+    if nogood.mentions(context.variable):
+        raise ModelError(
+            f"learned nogood {nogood!r} mentions the deadend variable "
+            f"x{context.variable}"
+        )
+    for variable, value in nogood.pairs:
+        if context.view.value_of(variable) != value:
+            raise ModelError(
+                f"learned nogood {nogood!r} disagrees with the agent view "
+                f"on x{variable}"
+            )
+    return nogood

@@ -1,0 +1,30 @@
+"""No learning: the deadend is broken by the priority raise alone.
+
+This is the AWC variant of Yokoo's original papers that the paper's tables
+label ``No``: "an agent doesn't make a nogood when meeting deadends". The
+algorithm cannot get stuck — raising the deadend variable's priority and
+moving to a minimum-violation value always makes progress possible — but
+without recorded nogoods it revisits the same dead ends, which is exactly
+the cycle blow-up (and loss of completeness) Tables 1–3 show.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.nogood import Nogood
+from .base import DeadendContext, LearningMethod
+
+
+class NoLearning(LearningMethod):
+    """The paper's ``No``: never construct or record nogoods."""
+
+    name = "No"
+
+    def make_nogood(self, context: DeadendContext) -> Optional[Nogood]:
+        del context
+        return None
+
+    def should_record(self, nogood: Nogood) -> bool:
+        del nogood
+        return False

@@ -1,0 +1,49 @@
+"""Recording policies for the Table 4 experiment (Rslv/rec vs Rslv/norec).
+
+Table 4 isolates *why* learning reduces cycles: it counts redundant nogood
+generations under two policies —
+
+* ``Rslv/rec`` — the normal method: recipients record announced nogoods
+  (this is plain :class:`~repro.learning.resolvent.ResolventLearning`);
+* ``Rslv/norec`` — agents generate and announce resolvent nogoods, but *no
+  other agent records them*. Without the recorded constraint, agents run
+  into the same dead ends and regenerate the same nogoods over and over.
+
+The redundant-generation count itself is kept by the metrics collector
+(:meth:`~repro.runtime.metrics.MetricsCollector.record_generation`); these
+classes only control the recording side.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.nogood import Nogood
+from .base import DeadendContext, LearningMethod
+from .resolvent import ResolventLearning, resolvent_nogood
+
+
+class NonRecordingResolventLearning(LearningMethod):
+    """The paper's ``Rslv/norec``: generate resolvents, record nothing.
+
+    With nobody recording, the "same nogood → do nothing" completeness rule
+    would freeze the system at the first repeated deadend. Because
+    ``should_record`` is always False here, AWC skips that rule: every
+    deadend is broken by the priority raise (footnote 1), and the repeated
+    generations are exactly what Table 4 counts.
+    """
+
+    name = "Rslv/norec"
+
+    def make_nogood(self, context: DeadendContext) -> Optional[Nogood]:
+        return resolvent_nogood(context)
+
+    def should_record(self, nogood: Nogood) -> bool:
+        del nogood
+        return False
+
+
+class RecordingResolventLearning(ResolventLearning):
+    """The paper's ``Rslv/rec`` — an explicit alias for experiment tables."""
+
+    name = "Rslv/rec"

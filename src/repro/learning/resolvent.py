@@ -1,0 +1,142 @@
+"""Resolvent-based learning — the paper's contribution (Section 3).
+
+At a deadend, every value of the agent's variable violates some higher
+nogood. The method:
+
+1. for each value ``d`` in the domain, collects the higher nogoods violated
+   under the current view with ``x_i = d``;
+2. selects one of them — the **smallest**, breaking ties by the **highest
+   nogood priority** (the paper's rationale: a highly-prioritized variable
+   has made a strong commitment, so the agent holding it should be told as
+   early as possible if its value is wrong);
+3. unions the selected nogoods and removes every pair mentioning ``x_i``.
+
+The result is "virtually equivalent to a resolvent in propositional logic":
+each selected nogood is the clause forbidding one value, and resolving them
+all on ``x_i`` leaves a constraint purely over other agents' variables.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..core.exceptions import ModelError
+from ..core.nogood import Nogood, union_nogoods
+from .base import DeadendContext, LearningMethod, ensure_deadend_nogood
+
+
+def stable_nogood_key(nogood: Nogood) -> Tuple[Tuple[int, str], ...]:
+    """A deterministic, type-agnostic ordering key for nogoods.
+
+    Used as the *final* tie-break after the paper's two criteria (size, then
+    nogood priority) are exhausted, so that runs are reproducible regardless
+    of store iteration order.
+    """
+    return tuple(sorted((var, repr(val)) for var, val in nogood.pairs))
+
+
+#: Selection policies for the per-value nogood (ablation axis):
+#: "paper" — smallest, ties by highest priority (Section 3.1's rule);
+#: "size-only" — smallest, ignoring priorities;
+#: "largest" — the anti-rule, used to demonstrate why small nogoods matter.
+TIE_BREAKS = ("paper", "size-only", "largest")
+
+
+def select_nogood_for_value(
+    context: DeadendContext,
+    violated: List[Nogood],
+    tie_break: str = "paper",
+) -> Nogood:
+    """Pick one nogood among those prohibiting a value.
+
+    Under the paper's rule: smallest first; among equally small ones, the
+    one with the highest nogood priority (under the priorities in the
+    agent's view); any residual tie is broken by :func:`stable_nogood_key`
+    so runs are reproducible regardless of store iteration order.
+    """
+    if not violated:
+        raise ModelError(
+            "select_nogood_for_value called with no violated nogoods; "
+            "the caller is not actually at a deadend"
+        )
+    if tie_break not in TIE_BREAKS:
+        raise ModelError(
+            f"unknown tie_break {tie_break!r}; choose from {TIE_BREAKS}"
+        )
+    prefer_small = tie_break != "largest"
+    use_priority = tie_break == "paper"
+    best = violated[0]
+    best_priority = context.store.priority_key_of(best, context.view)
+    for candidate in violated[1:]:
+        size_delta = len(candidate) - len(best)
+        if not prefer_small:
+            size_delta = -size_delta
+        if size_delta > 0:
+            continue
+        candidate_priority = context.store.priority_key_of(
+            candidate, context.view
+        )
+        if size_delta < 0:
+            better = True
+        elif use_priority and candidate_priority != best_priority:
+            better = candidate_priority > best_priority
+        else:
+            better = stable_nogood_key(candidate) < stable_nogood_key(best)
+        if better:
+            best = candidate
+            best_priority = candidate_priority
+    return best
+
+
+def resolvent_nogood(
+    context: DeadendContext, tie_break: str = "paper"
+) -> Nogood:
+    """Construct the resolvent nogood for a deadend (steps 1–3 above).
+
+    Every violation test performed while collecting the per-value nogoods is
+    counted through the store's check counter, so the method's cost is part
+    of ``maxcck`` exactly as in the paper.
+    """
+    selected: List[Nogood] = []
+    for value in context.domain:
+        violated = context.store.violated_higher(
+            context.view, value, context.priority
+        )
+        if not violated:
+            raise ModelError(
+                f"value {value!r} of x{context.variable} violates no higher "
+                "nogood; resolvent learning requires an actual deadend"
+            )
+        selected.append(
+            select_nogood_for_value(context, violated, tie_break)
+        )
+    # Strip the deadend variable from each selected nogood before taking the
+    # union: the selected nogoods bind x_i to *different* values (one per
+    # domain value), which is precisely what resolving on x_i removes.
+    resolvent = union_nogoods(
+        nogood.without(context.variable) for nogood in selected
+    )
+    return ensure_deadend_nogood(context, resolvent)
+
+
+class ResolventLearning(LearningMethod):
+    """The paper's ``Rslv``: unrestricted resolvent-based learning.
+
+    *tie_break* selects the per-value nogood policy (see
+    :data:`TIE_BREAKS`); anything but the default ``"paper"`` is an
+    ablation variant, named accordingly in experiment tables.
+    """
+
+    name = "Rslv"
+
+    def __init__(self, tie_break: str = "paper") -> None:
+        if tie_break not in TIE_BREAKS:
+            raise ModelError(
+                f"unknown tie_break {tie_break!r}; choose from {TIE_BREAKS}"
+            )
+        self.tie_break = tie_break
+        if tie_break != "paper":
+            self.name = f"Rslv[{tie_break}]"
+
+    def make_nogood(self, context: DeadendContext) -> Optional[Nogood]:
+        return resolvent_nogood(context, self.tie_break)

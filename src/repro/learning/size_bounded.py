@@ -1,0 +1,45 @@
+"""Size-bounded learning (Section 4.2): record only nogoods of size ≤ k.
+
+The counter-measure to *nogood-explosion*: agents still generate and
+announce full resolvent nogoods (generation is where the deadend information
+comes from), but recipients record only those with at most *k* pairs —
+"KthRslv refers to the resolvent-based learning where agents only record the
+nogoods of size k or less."
+
+The bound trades completeness for bounded per-cycle cost: small k keeps the
+store small (light cycles) but can force many more cycles on hard instances;
+the paper finds the best k is problem-dependent (3 for distributed
+3-coloring, 5 for 3SAT-GEN, 4 for 3ONESAT-GEN instances).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.exceptions import ModelError
+from ..core.nogood import Nogood
+from .base import DeadendContext, LearningMethod
+from .resolvent import resolvent_nogood
+
+_ORDINALS = {1: "1st", 2: "2nd", 3: "3rd"}
+
+
+def ordinal(k: int) -> str:
+    """The paper's naming: 3 → "3rd", 4 → "4th", 5 → "5th"."""
+    return _ORDINALS.get(k, f"{k}th")
+
+
+class SizeBoundedResolventLearning(LearningMethod):
+    """The paper's ``kthRslv``: resolvent generation, size-bounded recording."""
+
+    def __init__(self, k: int) -> None:
+        if k < 1:
+            raise ModelError(f"size bound must be at least 1, got {k}")
+        self.k = k
+        self.name = f"{ordinal(k)}Rslv"
+
+    def make_nogood(self, context: DeadendContext) -> Optional[Nogood]:
+        return resolvent_nogood(context)
+
+    def should_record(self, nogood: Nogood) -> bool:
+        return len(nogood) <= self.k

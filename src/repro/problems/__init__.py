@@ -1,0 +1,53 @@
+"""Problem domains: graph coloring, SAT, and application-flavoured DisCSPs."""
+
+from .applications import (
+    MeetingSchedule,
+    ResourceAllocation,
+    meeting_scheduling,
+    resource_allocation,
+)
+from .binary_csp import (
+    BinaryCspInstance,
+    is_nqueens_solution,
+    nqueens_csp,
+    nqueens_discsp,
+    random_binary_csp,
+)
+from .coloring import (
+    PAPER_DENSITY,
+    ColoringInstance,
+    coloring_csp,
+    coloring_discsp,
+    coloring_nogoods,
+    random_coloring_instance,
+)
+from .graphs import (
+    Edge,
+    Graph,
+    format_dimacs_graph,
+    parse_dimacs_graph,
+    planted_coloring_graph,
+)
+
+__all__ = [
+    "BinaryCspInstance",
+    "ColoringInstance",
+    "Edge",
+    "Graph",
+    "MeetingSchedule",
+    "PAPER_DENSITY",
+    "ResourceAllocation",
+    "coloring_csp",
+    "coloring_discsp",
+    "coloring_nogoods",
+    "format_dimacs_graph",
+    "is_nqueens_solution",
+    "meeting_scheduling",
+    "nqueens_csp",
+    "nqueens_discsp",
+    "parse_dimacs_graph",
+    "planted_coloring_graph",
+    "random_binary_csp",
+    "random_coloring_instance",
+    "resource_allocation",
+]

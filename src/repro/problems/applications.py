@@ -1,0 +1,150 @@
+"""Application-flavoured DisCSPs for the examples.
+
+The paper's introduction motivates distributed CSPs with multi-agent
+application problems: distributed resource allocation, distributed
+scheduling, and similar "find a consistent combination of agent actions"
+tasks. These builders model two such domains directly as DisCSPs so the
+examples exercise the public API on something other than random benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
+
+from ..core.exceptions import ModelError
+from ..core.nogood import Nogood
+from ..core.problem import DisCSP
+from ..core.variables import Domain
+
+
+@dataclass(frozen=True)
+class MeetingSchedule:
+    """A meeting-scheduling DisCSP plus its naming metadata.
+
+    One variable (and one agent) per meeting, owned by its organizer's
+    process; the domain is the set of time slots; two meetings sharing a
+    participant must take different slots.
+    """
+
+    problem: DisCSP
+    meeting_ids: Dict[str, int]
+    slot_names: Tuple[str, ...]
+
+    def meeting_of(self, variable: int) -> str:
+        """The meeting name behind a variable id."""
+        for name, identifier in self.meeting_ids.items():
+            if identifier == variable:
+                return name
+        raise ModelError(f"no meeting for variable {variable}")
+
+    def decode(self, assignment: Mapping[int, int]) -> Dict[str, str]:
+        """Translate a solution back to ``{meeting name: slot name}``."""
+        return {
+            name: self.slot_names[assignment[identifier]]
+            for name, identifier in self.meeting_ids.items()
+        }
+
+
+def meeting_scheduling(
+    participants: Mapping[str, Sequence[str]],
+    slots: Sequence[str],
+) -> MeetingSchedule:
+    """Build a meeting-scheduling DisCSP.
+
+    *participants* maps each meeting name to the people who must attend;
+    *slots* names the available time slots. Meetings sharing at least one
+    person get pairwise all-different nogoods (one per slot, the same shape
+    as the coloring encoding — scheduling *is* list coloring).
+    """
+    if not participants:
+        raise ModelError("at least one meeting is required")
+    if len(slots) < 1:
+        raise ModelError("at least one time slot is required")
+    meeting_names = sorted(participants)
+    meeting_ids = {name: index for index, name in enumerate(meeting_names)}
+    domain = Domain(range(len(slots)))
+    domains = {meeting_ids[name]: domain for name in meeting_names}
+    nogoods: List[Nogood] = []
+    for i, first in enumerate(meeting_names):
+        for second in meeting_names[i + 1:]:
+            shared = set(participants[first]) & set(participants[second])
+            if not shared:
+                continue
+            for slot_index in range(len(slots)):
+                nogoods.append(
+                    Nogood.of(
+                        (meeting_ids[first], slot_index),
+                        (meeting_ids[second], slot_index),
+                    )
+                )
+    problem = DisCSP.one_variable_per_agent(domains, nogoods)
+    return MeetingSchedule(
+        problem=problem,
+        meeting_ids=meeting_ids,
+        slot_names=tuple(slots),
+    )
+
+
+@dataclass(frozen=True)
+class ResourceAllocation:
+    """A resource-allocation DisCSP plus naming metadata.
+
+    One agent per task; the domain of a task is the set of resources able
+    to serve it; two conflicting tasks (e.g. overlapping in time) may not
+    use the same resource.
+    """
+
+    problem: DisCSP
+    task_ids: Dict[str, int]
+    resource_names: Tuple[str, ...]
+
+    def decode(self, assignment: Mapping[int, int]) -> Dict[str, str]:
+        """Translate a solution back to ``{task name: resource name}``."""
+        return {
+            name: self.resource_names[assignment[identifier]]
+            for name, identifier in self.task_ids.items()
+        }
+
+
+def resource_allocation(
+    capabilities: Mapping[str, Sequence[str]],
+    conflicts: Iterable[Tuple[str, str]],
+) -> ResourceAllocation:
+    """Build a resource-allocation DisCSP.
+
+    *capabilities* maps each task to the resources that can serve it;
+    *conflicts* lists task pairs that must not share a resource. The nogoods
+    prohibit each shared resource for each conflicting pair.
+    """
+    if not capabilities:
+        raise ModelError("at least one task is required")
+    task_names = sorted(capabilities)
+    task_ids = {name: index for index, name in enumerate(task_names)}
+    resource_names = tuple(
+        sorted({r for resources in capabilities.values() for r in resources})
+    )
+    resource_index = {name: index for index, name in enumerate(resource_names)}
+    domains = {}
+    for name in task_names:
+        usable = [resource_index[r] for r in capabilities[name]]
+        if not usable:
+            raise ModelError(f"task {name!r} has no usable resource")
+        domains[task_ids[name]] = Domain(sorted(usable))
+    nogoods: List[Nogood] = []
+    for first, second in conflicts:
+        for task in (first, second):
+            if task not in task_ids:
+                raise ModelError(f"conflict mentions unknown task {task!r}")
+        shared = set(capabilities[first]) & set(capabilities[second])
+        for resource in sorted(shared):
+            index = resource_index[resource]
+            nogoods.append(
+                Nogood.of((task_ids[first], index), (task_ids[second], index))
+            )
+    problem = DisCSP.one_variable_per_agent(domains, nogoods)
+    return ResourceAllocation(
+        problem=problem,
+        task_ids=task_ids,
+        resource_names=resource_names,
+    )

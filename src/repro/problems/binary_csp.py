@@ -1,0 +1,161 @@
+"""Random binary CSPs — the classic ⟨n, d, p1, p2⟩ model.
+
+The DisCSP literature (including the AWC papers this work builds on)
+standardly evaluates on random binary constraint networks: *n* variables
+with domain size *d*; each of the n(n-1)/2 variable pairs is constrained
+with probability *p1* (density); a constrained pair forbids each value
+combination with probability *p2* (tightness). This module generates such
+problems — in both "model B" style (exact counts) and planted-solvable
+form — rounding out the paper's two benchmark families with the one its
+ancestors used.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..core.exceptions import GenerationError, ModelError
+from ..core.nogood import Nogood
+from ..core.problem import CSP, DisCSP
+from ..core.variables import integer_domain
+from ..runtime.random_source import Seed, derive_rng
+
+
+@dataclass(frozen=True)
+class BinaryCspInstance:
+    """A generated random binary CSP, optionally with a planted solution."""
+
+    csp: CSP
+    num_variables: int
+    domain_size: int
+    constrained_pairs: Tuple[Tuple[int, int], ...]
+    planted: Optional[Dict[int, int]] = None
+
+    def to_discsp(self) -> DisCSP:
+        """One variable per agent."""
+        return DisCSP.from_csp(self.csp)
+
+
+def _choose_exact(population: List, count: int, rng: random.Random) -> List:
+    if count > len(population):
+        raise GenerationError(
+            f"cannot choose {count} items from {len(population)}"
+        )
+    return rng.sample(population, count)
+
+
+def random_binary_csp(
+    num_variables: int,
+    domain_size: int,
+    density: float,
+    tightness: float,
+    seed: Seed = 0,
+    planted: bool = True,
+) -> BinaryCspInstance:
+    """Generate a random binary CSP (model B: exact pair/tuple counts).
+
+    *density* (p1) is the fraction of variable pairs that are constrained;
+    *tightness* (p2) the fraction of value pairs each constraint forbids.
+    With ``planted=True`` a hidden solution is chosen first and forbidden
+    tuples are drawn only among those that do not kill it, so the instance
+    is satisfiable by construction (the paper's generators work the same
+    way). With ``planted=False`` the instance is unrestricted and may be
+    unsolvable.
+    """
+    if num_variables < 2:
+        raise ModelError("need at least two variables")
+    if domain_size < 1:
+        raise ModelError("domain size must be positive")
+    if not 0.0 <= density <= 1.0:
+        raise ModelError(f"density must be in [0, 1], got {density}")
+    if not 0.0 <= tightness <= 1.0:
+        raise ModelError(f"tightness must be in [0, 1], got {tightness}")
+    rng = derive_rng(seed, "binary-csp", num_variables, domain_size)
+    solution: Optional[Dict[int, int]] = None
+    if planted:
+        solution = {
+            variable: rng.randrange(domain_size)
+            for variable in range(num_variables)
+        }
+    all_pairs = list(itertools.combinations(range(num_variables), 2))
+    num_constrained = round(density * len(all_pairs))
+    constrained = sorted(_choose_exact(all_pairs, num_constrained, rng))
+    tuples_per_constraint = round(tightness * domain_size * domain_size)
+    nogoods: List[Nogood] = []
+    for u, v in constrained:
+        combos = [
+            (a, b)
+            for a in range(domain_size)
+            for b in range(domain_size)
+            if solution is None
+            or (a, b) != (solution[u], solution[v])
+        ]
+        count = min(tuples_per_constraint, len(combos))
+        if planted and tuples_per_constraint > len(combos):
+            raise GenerationError(
+                "tightness too high to preserve the planted solution"
+            )
+        for a, b in _choose_exact(combos, count, rng):
+            nogoods.append(Nogood.of((u, a), (v, b)))
+    domain = integer_domain(domain_size)
+    csp = CSP(
+        {variable: domain for variable in range(num_variables)}, nogoods
+    )
+    if solution is not None and not csp.is_solution(solution):
+        raise GenerationError("internal error: planted solution destroyed")
+    return BinaryCspInstance(
+        csp=csp,
+        num_variables=num_variables,
+        domain_size=domain_size,
+        constrained_pairs=tuple(constrained),
+        planted=solution,
+    )
+
+
+def nqueens_csp(size: int) -> CSP:
+    """The n-queens problem as a CSP over nogood constraints.
+
+    One variable per row (value = column); nogoods forbid shared columns
+    and shared diagonals. Classic, dense, and solvable for every
+    ``size >= 4`` — a handy stress problem for the distributed algorithms.
+    """
+    if size < 1:
+        raise ModelError("board size must be positive")
+    domain = integer_domain(size)
+    nogoods: List[Nogood] = []
+    for first in range(size):
+        for second in range(first + 1, size):
+            offset = second - first
+            for column in range(size):
+                nogoods.append(
+                    Nogood.of((first, column), (second, column))
+                )
+                if column + offset < size:
+                    nogoods.append(
+                        Nogood.of((first, column), (second, column + offset))
+                    )
+                if column - offset >= 0:
+                    nogoods.append(
+                        Nogood.of((first, column), (second, column - offset))
+                    )
+    return CSP({row: domain for row in range(size)}, nogoods)
+
+
+def nqueens_discsp(size: int) -> DisCSP:
+    """n-queens, one row per agent."""
+    return DisCSP.from_csp(nqueens_csp(size))
+
+
+def is_nqueens_solution(size: int, assignment: Dict[int, int]) -> bool:
+    """Independent checker (not via nogoods) used as a test oracle."""
+    if set(assignment) != set(range(size)):
+        return False
+    for first in range(size):
+        for second in range(first + 1, size):
+            a, b = assignment[first], assignment[second]
+            if a == b or abs(a - b) == second - first:
+                return False
+    return True

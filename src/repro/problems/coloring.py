@@ -1,0 +1,90 @@
+"""Distributed graph coloring: the paper's first benchmark domain.
+
+"A distributed 3-coloring problem is a 3-coloring problem where n nodes
+(variables) and m arcs (constraints) are distributed among multiple agents.
+We generate a solvable problem instance with m = 2.7n using the method in
+[Minton et al.], and distribute one variable and its relevant nogoods to one
+agent."
+
+Each arc ``{u, v}`` becomes ``num_colors`` nogoods — one per color ``c``:
+``{(u, c), (v, c)}`` — which is exactly the nogood form the paper's Figure 1
+example uses.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..core.nogood import Nogood
+from ..core.problem import CSP, DisCSP
+from ..core.variables import Domain, integer_domain
+from ..runtime.random_source import Seed, derive_rng
+from .graphs import Graph, planted_coloring_graph
+
+#: The paper's edge density for distributed 3-coloring (m = 2.7 n).
+PAPER_DENSITY = 2.7
+
+
+@dataclass(frozen=True)
+class ColoringInstance:
+    """A generated coloring problem plus its planted solution."""
+
+    graph: Graph
+    num_colors: int
+    planted: Dict[int, int]
+
+    def to_csp(self) -> CSP:
+        """The instance as a centralized CSP."""
+        return coloring_csp(self.graph, self.num_colors)
+
+    def to_discsp(self) -> DisCSP:
+        """The instance as a DisCSP, one node per agent."""
+        return coloring_discsp(self.graph, self.num_colors)
+
+
+def coloring_nogoods(graph: Graph, num_colors: int) -> List[Nogood]:
+    """One nogood per (arc, color): adjacent nodes may not share a color."""
+    nogoods = []
+    for u, v in graph.edges:
+        for color in range(num_colors):
+            nogoods.append(Nogood.of((u, color), (v, color)))
+    return nogoods
+
+
+def coloring_csp(graph: Graph, num_colors: int) -> CSP:
+    """The coloring problem as a centralized CSP."""
+    domain = integer_domain(num_colors)
+    domains = {node: domain for node in range(graph.num_nodes)}
+    return CSP(domains, coloring_nogoods(graph, num_colors))
+
+
+def coloring_discsp(graph: Graph, num_colors: int) -> DisCSP:
+    """The coloring problem as a DisCSP, agent *i* owning node *i*."""
+    domain = integer_domain(num_colors)
+    domains = {node: domain for node in range(graph.num_nodes)}
+    return DisCSP.one_variable_per_agent(
+        domains, coloring_nogoods(graph, num_colors)
+    )
+
+
+def random_coloring_instance(
+    num_nodes: int,
+    density: float = PAPER_DENSITY,
+    num_colors: int = 3,
+    seed: Seed = 0,
+    num_edges: Optional[int] = None,
+) -> ColoringInstance:
+    """A solvable random coloring instance at the paper's parameters.
+
+    *density* is edges-per-node (the paper's 2.7); pass *num_edges* to pin
+    the count exactly instead.
+    """
+    rng = derive_rng(seed, "coloring", num_nodes, num_colors)
+    if num_edges is None:
+        num_edges = round(density * num_nodes)
+    graph, planted = planted_coloring_graph(
+        num_nodes, num_edges, num_colors, rng
+    )
+    return ColoringInstance(graph=graph, num_colors=num_colors, planted=planted)

@@ -1,0 +1,194 @@
+"""Undirected graphs and the planted-coloring generator.
+
+The paper's distributed 3-coloring instances are produced with the method of
+Minton et al. (1992): plant a random partition of the *n* nodes into the
+color classes, then sample *m* distinct arcs uniformly among pairs of nodes
+in **different** classes. Such a graph is colorable by construction (the
+planted partition is a proper coloring), and at m = 2.7n the instances sit
+in the hard region identified by Cheeseman et al.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Set, Tuple
+
+from ..core.exceptions import GenerationError, ModelError
+
+#: An undirected edge, stored with the smaller endpoint first.
+Edge = Tuple[int, int]
+
+
+class Graph:
+    """A simple undirected graph on nodes ``0..num_nodes-1``."""
+
+    __slots__ = ("num_nodes", "_edges", "_adjacency")
+
+    def __init__(self, num_nodes: int, edges: Iterable[Edge] = ()) -> None:
+        if num_nodes < 1:
+            raise ModelError(f"num_nodes must be positive, got {num_nodes}")
+        self.num_nodes = num_nodes
+        self._edges: Set[Edge] = set()
+        self._adjacency: List[Set[int]] = [set() for _ in range(num_nodes)]
+        for u, v in edges:
+            self.add_edge(u, v)
+
+    def add_edge(self, u: int, v: int) -> bool:
+        """Add the edge {u, v}; returns False if it already existed."""
+        if u == v:
+            raise ModelError(f"self-loop on node {u}")
+        for node in (u, v):
+            if not 0 <= node < self.num_nodes:
+                raise ModelError(
+                    f"node {node} outside 0..{self.num_nodes - 1}"
+                )
+        edge = (u, v) if u < v else (v, u)
+        if edge in self._edges:
+            return False
+        self._edges.add(edge)
+        self._adjacency[u].add(v)
+        self._adjacency[v].add(u)
+        return True
+
+    @property
+    def edges(self) -> List[Edge]:
+        """All edges, sorted (deterministic iteration for reproducibility)."""
+        return sorted(self._edges)
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """True if {u, v} is an edge."""
+        edge = (u, v) if u < v else (v, u)
+        return edge in self._edges
+
+    def neighbors(self, node: int) -> FrozenSet[int]:
+        """The nodes adjacent to *node*."""
+        return frozenset(self._adjacency[node])
+
+    def degree(self, node: int) -> int:
+        """The number of edges at *node*."""
+        return len(self._adjacency[node])
+
+    @property
+    def num_edges(self) -> int:
+        return len(self._edges)
+
+    def is_proper_coloring(self, colors: Dict[int, object]) -> bool:
+        """True if *colors* assigns every node and no edge is monochromatic."""
+        if any(node not in colors for node in range(self.num_nodes)):
+            return False
+        return all(colors[u] != colors[v] for u, v in self._edges)
+
+    def connected_components(self) -> List[FrozenSet[int]]:
+        """The connected components, each as a frozen node set."""
+        seen: Set[int] = set()
+        components: List[FrozenSet[int]] = []
+        for start in range(self.num_nodes):
+            if start in seen:
+                continue
+            stack = [start]
+            component = set()
+            while stack:
+                node = stack.pop()
+                if node in component:
+                    continue
+                component.add(node)
+                stack.extend(self._adjacency[node] - component)
+            seen |= component
+            components.append(frozenset(component))
+        return components
+
+    def __repr__(self) -> str:
+        return f"Graph({self.num_nodes} nodes, {self.num_edges} edges)"
+
+
+def format_dimacs_graph(graph: Graph, comment: str = "") -> str:
+    """Render *graph* in the DIMACS graph format (``p edge n m`` / ``e u v``).
+
+    Nodes are 1-based in the format, 0-based in :class:`Graph`, matching
+    the convention of the DIMACS coloring archives.
+    """
+    lines = []
+    if comment:
+        for comment_line in comment.splitlines():
+            lines.append(f"c {comment_line}")
+    lines.append(f"p edge {graph.num_nodes} {graph.num_edges}")
+    for u, v in graph.edges:
+        lines.append(f"e {u + 1} {v + 1}")
+    return "\n".join(lines) + "\n"
+
+
+def parse_dimacs_graph(text: str) -> Graph:
+    """Parse DIMACS graph format text into a :class:`Graph`."""
+    num_nodes = None
+    edges: List[Edge] = []
+    for raw_line in text.splitlines():
+        line = raw_line.strip()
+        if not line or line.startswith("c"):
+            continue
+        if line.startswith("p"):
+            parts = line.split()
+            if len(parts) != 4 or parts[1] not in ("edge", "col"):
+                raise ModelError(f"malformed DIMACS graph header: {line!r}")
+            num_nodes = int(parts[2])
+            continue
+        if line.startswith("e"):
+            if num_nodes is None:
+                raise ModelError("edge line before the 'p edge' header")
+            parts = line.split()
+            if len(parts) != 3:
+                raise ModelError(f"malformed edge line: {line!r}")
+            edges.append((int(parts[1]) - 1, int(parts[2]) - 1))
+    if num_nodes is None:
+        raise ModelError("DIMACS graph input has no 'p edge' header")
+    return Graph(num_nodes, edges)
+
+
+def planted_coloring_graph(
+    num_nodes: int,
+    num_edges: int,
+    num_colors: int,
+    rng: random.Random,
+    max_partition_attempts: int = 100,
+) -> Tuple[Graph, Dict[int, int]]:
+    """A colorable graph via Minton et al.'s planted-partition method.
+
+    Returns ``(graph, planted)`` where *planted* is the hidden proper
+    coloring. Raises :class:`GenerationError` if *num_edges* exceeds what any
+    sampled partition can support.
+    """
+    if num_colors < 2:
+        raise GenerationError("need at least 2 colors to have cross edges")
+    for _attempt in range(max_partition_attempts):
+        planted = {
+            node: rng.randrange(num_colors) for node in range(num_nodes)
+        }
+        class_sizes = [0] * num_colors
+        for color in planted.values():
+            class_sizes[color] += 1
+        total_pairs = num_nodes * (num_nodes - 1) // 2
+        same_pairs = sum(size * (size - 1) // 2 for size in class_sizes)
+        if num_edges <= total_pairs - same_pairs:
+            break
+    else:
+        raise GenerationError(
+            f"cannot place {num_edges} cross-class edges on {num_nodes} "
+            f"nodes with {num_colors} colors"
+        )
+    graph = Graph(num_nodes)
+    # Rejection sampling is fast far from saturation (the paper's m = 2.7n
+    # is far below the ~n^2/3 cross pairs available); the attempt bound only
+    # exists to fail loudly on adversarial parameters.
+    attempts = 0
+    max_attempts = 200 * num_edges + 10_000
+    while graph.num_edges < num_edges:
+        attempts += 1
+        if attempts > max_attempts:
+            raise GenerationError(
+                f"edge sampling did not converge after {max_attempts} draws"
+            )
+        u = rng.randrange(num_nodes)
+        v = rng.randrange(num_nodes)
+        if u == v or planted[u] == planted[v]:
+            continue
+        graph.add_edge(u, v)
+    return graph, planted

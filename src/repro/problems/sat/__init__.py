@@ -1,0 +1,39 @@
+"""SAT problems: CNF formulas, DIMACS I/O, generators, DisCSP encoding."""
+
+from .cnf import CnfFormula, Model
+from .dimacs import format_dimacs, parse_dimacs, read_dimacs, write_dimacs
+from .generators import (
+    PAPER_3SAT_RATIO,
+    PAPER_ONESAT_RATIO,
+    SatInstance,
+    planted_3sat,
+    unique_solution_3sat,
+)
+from .to_discsp import (
+    assignment_to_model,
+    clause_to_nogood,
+    model_to_assignment,
+    sat_nogoods,
+    sat_to_csp,
+    sat_to_discsp,
+)
+
+__all__ = [
+    "CnfFormula",
+    "Model",
+    "PAPER_3SAT_RATIO",
+    "PAPER_ONESAT_RATIO",
+    "SatInstance",
+    "assignment_to_model",
+    "clause_to_nogood",
+    "format_dimacs",
+    "model_to_assignment",
+    "parse_dimacs",
+    "planted_3sat",
+    "read_dimacs",
+    "sat_nogoods",
+    "sat_to_csp",
+    "sat_to_discsp",
+    "unique_solution_3sat",
+    "write_dimacs",
+]

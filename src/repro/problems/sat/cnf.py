@@ -1,0 +1,103 @@
+"""CNF formulas with DIMACS literal conventions.
+
+Variables are ``1..num_vars``; a positive literal ``v`` means "variable v is
+true", a negative literal ``-v`` means false. This matches both the DIMACS
+file format (the paper pulls its 3ONESAT instances from the DIMACS
+benchmark archive) and the clause form used by the DPLL substrate.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+from ...core.exceptions import ModelError
+from ...solvers.dpll import Clause, normalize_clause
+
+#: A model assigns every variable a boolean.
+Model = Dict[int, bool]
+
+
+class CnfFormula:
+    """An immutable CNF formula."""
+
+    __slots__ = ("num_vars", "clauses")
+
+    def __init__(
+        self, num_vars: int, clauses: Iterable[Sequence[int]]
+    ) -> None:
+        if num_vars < 1:
+            raise ModelError(f"num_vars must be positive, got {num_vars}")
+        normalized: List[Clause] = []
+        for raw in clauses:
+            clause = normalize_clause(raw)
+            if clause is None:
+                continue  # tautologies carry no information
+            for literal in clause:
+                if abs(literal) > num_vars:
+                    raise ModelError(
+                        f"literal {literal} exceeds num_vars={num_vars}"
+                    )
+            normalized.append(clause)
+        self.num_vars = num_vars
+        self.clauses: Tuple[Clause, ...] = tuple(normalized)
+
+    @property
+    def num_clauses(self) -> int:
+        return len(self.clauses)
+
+    @property
+    def ratio(self) -> float:
+        """The clause/variable ratio m/n the paper parameterizes by."""
+        return self.num_clauses / self.num_vars
+
+    def variables_used(self) -> Set[int]:
+        """The variables occurring in at least one clause."""
+        return {abs(literal) for clause in self.clauses for literal in clause}
+
+    def literal_satisfied(self, literal: int, model: Model) -> bool:
+        """True if *literal* holds under *model*."""
+        value = model.get(abs(literal))
+        if value is None:
+            raise ModelError(f"model does not assign variable {abs(literal)}")
+        return value if literal > 0 else not value
+
+    def clause_satisfied(self, clause: Sequence[int], model: Model) -> bool:
+        """True if at least one literal of *clause* holds under *model*."""
+        return any(
+            self.literal_satisfied(literal, model) for literal in clause
+        )
+
+    def satisfied_by(self, model: Model) -> bool:
+        """True if every clause holds under *model*."""
+        return all(
+            self.clause_satisfied(clause, model) for clause in self.clauses
+        )
+
+    def violated_clauses(self, model: Model) -> List[Clause]:
+        """The clauses *model* falsifies."""
+        return [
+            clause
+            for clause in self.clauses
+            if not self.clause_satisfied(clause, model)
+        ]
+
+    def with_clauses(self, extra: Iterable[Sequence[int]]) -> "CnfFormula":
+        """A new formula extending this one with *extra* clauses."""
+        return CnfFormula(self.num_vars, list(self.clauses) + list(extra))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CnfFormula):
+            return NotImplemented
+        return (
+            self.num_vars == other.num_vars
+            and sorted(self.clauses) == sorted(other.clauses)
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.num_vars, tuple(sorted(self.clauses))))
+
+    def __repr__(self) -> str:
+        return (
+            f"CnfFormula(n={self.num_vars}, m={self.num_clauses}, "
+            f"ratio={self.ratio:.2f})"
+        )

@@ -1,0 +1,91 @@
+"""DIMACS CNF reading and writing.
+
+The paper's 3ONESAT instances are AIM benchmark files fetched from the
+DIMACS ftp archive. This environment has no network access, so the
+experiments regenerate equivalent instances locally — but the parser means
+that anyone holding the original ``aim-*.cnf`` files can drop them in and
+run the benchmarks on the paper's exact instances.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import List, Union
+
+from ...core.exceptions import ModelError
+from .cnf import CnfFormula
+
+
+def parse_dimacs(text: str) -> CnfFormula:
+    """Parse DIMACS CNF text into a :class:`CnfFormula`.
+
+    Accepts the standard dialect: ``c`` comment lines, one ``p cnf <vars>
+    <clauses>`` header, and whitespace-separated literals with ``0``
+    terminating each clause (clauses may span lines). A ``%`` line — used as
+    an end marker by several DIMACS-era archives, including the AIM
+    families — ends the clause section.
+    """
+    num_vars = None
+    declared_clauses = None
+    clauses: List[List[int]] = []
+    current: List[int] = []
+    for raw_line in io.StringIO(text):
+        line = raw_line.strip()
+        if not line or line.startswith("c"):
+            continue
+        if line.startswith("%"):
+            break
+        if line.startswith("p"):
+            if num_vars is not None:
+                raise ModelError("duplicate 'p' header in DIMACS input")
+            parts = line.split()
+            if len(parts) != 4 or parts[1] != "cnf":
+                raise ModelError(f"malformed DIMACS header: {line!r}")
+            num_vars = int(parts[2])
+            declared_clauses = int(parts[3])
+            continue
+        if num_vars is None:
+            raise ModelError("DIMACS clauses appeared before the 'p' header")
+        for token in line.split():
+            literal = int(token)
+            if literal == 0:
+                clauses.append(current)
+                current = []
+            else:
+                current.append(literal)
+    if num_vars is None:
+        raise ModelError("DIMACS input has no 'p cnf' header")
+    if current:
+        # Tolerate a missing final 0; several archive files omit it.
+        clauses.append(current)
+    if declared_clauses is not None and len(clauses) != declared_clauses:
+        raise ModelError(
+            f"DIMACS header declares {declared_clauses} clauses but "
+            f"{len(clauses)} were found"
+        )
+    return CnfFormula(num_vars, clauses)
+
+
+def read_dimacs(path: Union[str, Path]) -> CnfFormula:
+    """Read a DIMACS CNF file."""
+    return parse_dimacs(Path(path).read_text())
+
+
+def format_dimacs(formula: CnfFormula, comment: str = "") -> str:
+    """Render *formula* as DIMACS CNF text."""
+    lines = []
+    if comment:
+        for comment_line in comment.splitlines():
+            lines.append(f"c {comment_line}")
+    lines.append(f"p cnf {formula.num_vars} {formula.num_clauses}")
+    for clause in formula.clauses:
+        lines.append(" ".join(str(literal) for literal in clause) + " 0")
+    return "\n".join(lines) + "\n"
+
+
+def write_dimacs(
+    formula: CnfFormula, path: Union[str, Path], comment: str = ""
+) -> None:
+    """Write *formula* to *path* in DIMACS CNF format."""
+    Path(path).write_text(format_dimacs(formula, comment))

@@ -1,0 +1,61 @@
+"""Encoding SAT instances as distributed CSPs.
+
+"A distributed 3SAT is a 3SAT where n Boolean variables and m clauses are
+distributed among multiple agents ... one Boolean variable and its relevant
+clauses to one agent."
+
+Encoding: the boolean domain is ``{0, 1}`` with 1 = true. A clause is
+violated exactly when *all* its literals are false, so each clause maps to
+one nogood binding every mentioned variable to the value falsifying its
+literal: clause ``(x1 ∨ ¬x2 ∨ x3)`` becomes the nogood
+``{(1, 0), (2, 1), (3, 0)}``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ...core.nogood import Nogood
+from ...core.problem import CSP, DisCSP
+from ...core.variables import BOOLEAN_DOMAIN
+from .cnf import CnfFormula, Model
+
+
+def clause_to_nogood(clause) -> Nogood:
+    """The falsifying assignment of *clause*, as a nogood (0=false, 1=true)."""
+    return Nogood(
+        (abs(literal), 0 if literal > 0 else 1) for literal in clause
+    )
+
+
+def sat_nogoods(formula: CnfFormula) -> List[Nogood]:
+    """One nogood per clause of *formula*."""
+    return [clause_to_nogood(clause) for clause in formula.clauses]
+
+
+def sat_to_csp(formula: CnfFormula) -> CSP:
+    """*formula* as a centralized CSP over boolean variables."""
+    domains = {
+        variable: BOOLEAN_DOMAIN
+        for variable in range(1, formula.num_vars + 1)
+    }
+    return CSP(domains, sat_nogoods(formula))
+
+
+def sat_to_discsp(formula: CnfFormula) -> DisCSP:
+    """*formula* as a DisCSP, agent *v* owning boolean variable *v*."""
+    domains = {
+        variable: BOOLEAN_DOMAIN
+        for variable in range(1, formula.num_vars + 1)
+    }
+    return DisCSP.one_variable_per_agent(domains, sat_nogoods(formula))
+
+
+def model_to_assignment(model: Model) -> Dict[int, int]:
+    """A SAT model (bools) as a CSP assignment (0/1 values)."""
+    return {variable: int(value) for variable, value in model.items()}
+
+
+def assignment_to_model(assignment: Dict[int, int]) -> Model:
+    """A CSP assignment (0/1 values) as a SAT model (bools)."""
+    return {variable: bool(value) for variable, value in assignment.items()}

@@ -1,0 +1,98 @@
+"""Message types exchanged by the distributed algorithms.
+
+The paper's algorithms use a small vocabulary of messages:
+
+* ``ok?`` — a variable's current value (and, for AWC, its priority);
+* ``nogood`` — a newly generated nogood, sent to the agents it mentions;
+* value requests — when a received nogood mentions an unknown variable, the
+  receiver "has to request the corresponding agent to send its value"
+  (this is ABT's add-link mechanism);
+* ``improve`` — the distributed breakout's possible-improvement exchange.
+
+All messages are frozen dataclasses: the network layer may buffer and
+re-order them, and immutability guarantees a message read later is the
+message that was sent. Every message carries its sender so receivers can
+maintain links without trusting delivery metadata.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple, Union
+
+from ..core.nogood import Nogood
+from ..core.problem import AgentId
+from ..core.variables import Value, VariableId
+
+
+@dataclass(frozen=True)
+class OkMessage:
+    """'ok?' — the sender's variable has this value (and priority).
+
+    Priority is meaningful for AWC and ABT-with-priorities; the distributed
+    breakout ignores it (it is always 0 there).
+    """
+
+    sender: AgentId
+    variable: VariableId
+    value: Value
+    priority: int = 0
+
+
+@dataclass(frozen=True)
+class NogoodMessage:
+    """'nogood' — the sender derived this nogood at a deadend."""
+
+    sender: AgentId
+    nogood: Nogood
+
+
+@dataclass(frozen=True)
+class RequestValueMessage:
+    """Ask the owner of *variable* to (re)announce its value.
+
+    Sent when a received nogood mentions a variable the receiver has never
+    heard from. The owner responds with an ``ok?`` and adds the requester to
+    its outgoing links, so future changes reach it too.
+    """
+
+    sender: AgentId
+    variable: VariableId
+
+
+@dataclass(frozen=True)
+class ImproveMessage:
+    """'improve' — distributed breakout's cost/improvement announcement.
+
+    *round_index* identifies which ok?/improve alternation this message
+    belongs to; with delayed delivery, rounds may overlap in flight and the
+    receiver must buffer messages from future rounds rather than conflate
+    them.
+    """
+
+    sender: AgentId
+    eval: int
+    improve: int
+    round_index: int
+
+
+@dataclass(frozen=True)
+class OkRoundMessage:
+    """'ok?' variant carrying a round index, for the distributed breakout."""
+
+    sender: AgentId
+    variable: VariableId
+    value: Value
+    round_index: int
+
+
+Message = Union[
+    OkMessage,
+    NogoodMessage,
+    RequestValueMessage,
+    ImproveMessage,
+    OkRoundMessage,
+]
+
+#: An outgoing message paired with its recipient.
+Outgoing = Tuple[AgentId, Message]

@@ -1,0 +1,100 @@
+"""Cost accounting: the paper's measures, collected outside the algorithms.
+
+For every trial the paper reports:
+
+* ``cycle`` — cycles consumed until a solution is found;
+* ``maxcck`` — "sum of the maximal number of nogood checks performed by
+  agents at each cycle";
+
+and, for Table 4, the total number of *redundant* nogood generations: how
+often some agent generates a nogood that had already been generated earlier
+in the run.
+
+Algorithms never compute these themselves. Agents expose a
+:class:`~repro.core.store.CheckCounter`; the collector snapshots the
+counters at cycle boundaries and derives per-cycle maxima, and the
+learning layer reports each generated nogood here for redundancy
+accounting. Keeping the accounting out of the algorithms means a metrics
+bug cannot change search behaviour, and vice versa.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set
+
+from ..core.nogood import Nogood
+from ..core.problem import AgentId
+from ..core.store import CheckCounter
+
+
+class MetricsCollector:
+    """Accumulates per-run cost measures across cycles.
+
+    With ``keep_history=True`` the per-cycle maxima (and per-cycle totals)
+    are retained for post-hoc analysis; experiments that only need the
+    aggregate leave it off to save memory on long runs.
+    """
+
+    def __init__(self, keep_history: bool = False) -> None:
+        self.keep_history = keep_history
+        self.cycles = 0
+        self.maxcck = 0
+        self.total_checks = 0
+        self.generated_count = 0
+        self.redundant_generations = 0
+        self.max_history: List[int] = []
+        self.total_history: List[int] = []
+        self._counters: Dict[AgentId, CheckCounter] = {}
+        self._snapshots: Dict[AgentId, int] = {}
+        self._generated: Set[Nogood] = set()
+
+    # -- cycle accounting ----------------------------------------------------
+
+    def attach(self, agent_id: AgentId, counter: CheckCounter) -> None:
+        """Register *agent_id*'s check counter (done once, before running)."""
+        self._counters[agent_id] = counter
+        self._snapshots[agent_id] = counter.total
+
+    def end_cycle(self) -> int:
+        """Close one cycle: fold in per-agent deltas; returns the cycle max."""
+        cycle_max = 0
+        cycle_total = 0
+        for agent_id, counter in self._counters.items():
+            delta = counter.total - self._snapshots[agent_id]
+            self._snapshots[agent_id] = counter.total
+            cycle_total += delta
+            if delta > cycle_max:
+                cycle_max = delta
+        self.cycles += 1
+        self.maxcck += cycle_max
+        self.total_checks += cycle_total
+        if self.keep_history:
+            self.max_history.append(cycle_max)
+            self.total_history.append(cycle_total)
+        return cycle_max
+
+    # -- nogood-generation accounting -----------------------------------------
+
+    def record_generation(self, agent_id: AgentId, nogood: Nogood) -> bool:
+        """Record that *agent_id* generated *nogood*.
+
+        Returns True when the generation was redundant, i.e. the same nogood
+        (as a set of pairs) had been generated before by any agent. This is
+        Table 4's measure: with recording enabled redundancy should be rare;
+        without it, agents rediscover the same nogoods over and over.
+        """
+        del agent_id  # accounted globally; kept in the signature for tracing
+        self.generated_count += 1
+        if nogood in self._generated:
+            self.redundant_generations += 1
+            return True
+        self._generated.add(nogood)
+        return False
+
+    def __repr__(self) -> str:
+        return (
+            f"MetricsCollector(cycles={self.cycles}, maxcck={self.maxcck}, "
+            f"total_checks={self.total_checks}, "
+            f"generated={self.generated_count}, "
+            f"redundant={self.redundant_generations})"
+        )

@@ -1,0 +1,279 @@
+"""Network models: how messages move between agents.
+
+The paper's experiments run on "a simulator of a synchronous distributed
+system": in each cycle all agents read incoming messages, compute, and send.
+:class:`SynchronousNetwork` implements exactly that — a message sent during
+cycle *t* is readable at cycle *t + 1*.
+
+The paper notes (Section 5) that the algorithms are designed for fully
+asynchronous systems and should be analysed on other network types too.
+:class:`RandomDelayNetwork` provides that axis: each message independently
+takes 1..max_delay cycles, optionally with per-channel FIFO ordering (without
+FIFO, messages between the same pair of agents can overtake each other,
+which is the harshest asynchrony the algorithms must tolerate).
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from typing import Dict, List, Optional, Tuple
+
+from ..core.exceptions import SimulationError
+from ..core.problem import AgentId
+from .messages import Message
+
+#: A delivered message tagged with its sender-declared envelope recipient.
+Inbox = Dict[AgentId, List[Message]]
+
+
+class Network:
+    """Base class: buffers sent messages and delivers them per cycle."""
+
+    def __init__(self) -> None:
+        self.sent_count = 0
+        self.delivered_count = 0
+
+    def send(self, sender: AgentId, recipient: AgentId, message: Message) -> None:
+        """Queue *message* from *sender* to *recipient*."""
+        raise NotImplementedError
+
+    def deliver(self) -> Inbox:
+        """Advance one cycle and return the messages readable this cycle."""
+        raise NotImplementedError
+
+    def pending(self) -> int:
+        """Number of messages queued but not yet delivered."""
+        raise NotImplementedError
+
+    def is_idle(self) -> bool:
+        """True when no messages are in flight."""
+        return self.pending() == 0
+
+
+class SynchronousNetwork(Network):
+    """The paper's model: every message takes exactly one cycle."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._queue: List[Tuple[AgentId, Message]] = []
+
+    def send(self, sender: AgentId, recipient: AgentId, message: Message) -> None:
+        if recipient == sender:
+            raise SimulationError(
+                f"agent {sender} attempted to send a message to itself"
+            )
+        self._queue.append((recipient, message))
+        self.sent_count += 1
+
+    def deliver(self) -> Inbox:
+        inbox: Inbox = {}
+        for recipient, message in self._queue:
+            inbox.setdefault(recipient, []).append(message)
+            self.delivered_count += 1
+        self._queue = []
+        return inbox
+
+    def pending(self) -> int:
+        return len(self._queue)
+
+
+class FixedDelayNetwork(Network):
+    """Every message takes exactly *delay* cycles.
+
+    This is the network the paper's Figure 2 model abstracts: a per-cycle
+    communication delay of a known number of time-units. Running an
+    algorithm on ``FixedDelayNetwork(d)`` and comparing the measured cycle
+    count against ``d × cycles_at_delay_1`` empirically validates (or
+    bounds) the linear model — see ``benchmarks/bench_extensions.py``.
+    """
+
+    def __init__(self, delay: int = 1) -> None:
+        super().__init__()
+        if delay < 1:
+            raise SimulationError(f"delay must be at least 1, got {delay}")
+        self.delay = delay
+        self._now = 0
+        self._queue: List[Tuple[int, int, AgentId, Message]] = []
+        self._sequence = 0
+
+    def send(self, sender: AgentId, recipient: AgentId, message: Message) -> None:
+        if recipient == sender:
+            raise SimulationError(
+                f"agent {sender} attempted to send a message to itself"
+            )
+        self._queue.append(
+            (self._now + self.delay, self._sequence, recipient, message)
+        )
+        self._sequence += 1
+        self.sent_count += 1
+
+    def deliver(self) -> Inbox:
+        self._now += 1
+        due = [item for item in self._queue if item[0] <= self._now]
+        self._queue = [item for item in self._queue if item[0] > self._now]
+        due.sort(key=lambda item: item[1])
+        inbox: Inbox = {}
+        for _arrival, _sequence, recipient, message in due:
+            inbox.setdefault(recipient, []).append(message)
+            self.delivered_count += 1
+        return inbox
+
+    def pending(self) -> int:
+        return len(self._queue)
+
+
+class LossyNetwork(Network):
+    """Messages are dropped with probability *loss_rate* and retransmitted.
+
+    The paper's algorithms assume reliable delivery ("an agent can send
+    messages to other agents iff the agents know the addresses ... the
+    delay in delivering a message is finite" is the standard DisCSP model).
+    Real links lose packets; reliability is then implemented underneath,
+    by acknowledgment and retransmission. This network models exactly that
+    contract: each send is retried every *retransmit_after* cycles until a
+    copy survives the loss process, so delivery is guaranteed but takes a
+    geometrically distributed number of retransmission rounds.
+
+    The net effect is a random-delay channel whose delay distribution comes
+    from the loss process — which is why the DisCSP model's "finite delay"
+    assumption is the right abstraction for lossy links, a point this class
+    makes executable (see ``tests/runtime/test_lossy.py``).
+
+    Per-channel FIFO is preserved: a retransmitted message never overtakes
+    a later one, because delivery order is decided by send sequence among
+    messages that have "arrived" (survived loss).
+    """
+
+    def __init__(
+        self,
+        loss_rate: float = 0.3,
+        retransmit_after: int = 1,
+        rng: Optional[random.Random] = None,
+        max_attempts: int = 1000,
+    ) -> None:
+        super().__init__()
+        if not 0.0 <= loss_rate < 1.0:
+            raise SimulationError(
+                f"loss_rate must be in [0, 1), got {loss_rate}"
+            )
+        if retransmit_after < 1:
+            raise SimulationError(
+                f"retransmit_after must be at least 1, got {retransmit_after}"
+            )
+        self.loss_rate = loss_rate
+        self.retransmit_after = retransmit_after
+        self.max_attempts = max_attempts
+        self._rng = rng if rng is not None else random.Random(0)
+        self._now = 0
+        self._sequence = 0
+        self.dropped_count = 0
+        self.retransmissions = 0
+        # (arrival_cycle, sequence, recipient, message)
+        self._in_flight: List[Tuple[int, int, AgentId, Message]] = []
+        # Per-channel hold-back (TCP-style): a message is not delivered
+        # before its predecessors on the same (sender, recipient) channel.
+        self._last_arrival: Dict[Tuple[AgentId, AgentId], int] = {}
+
+    def send(self, sender: AgentId, recipient: AgentId, message: Message) -> None:
+        if recipient == sender:
+            raise SimulationError(
+                f"agent {sender} attempted to send a message to itself"
+            )
+        # Simulate (re)transmission rounds until a copy gets through; the
+        # arrival time reflects how many rounds were needed.
+        attempts = 1
+        while self._rng.random() < self.loss_rate:
+            self.dropped_count += 1
+            self.retransmissions += 1
+            attempts += 1
+            if attempts > self.max_attempts:
+                raise SimulationError(
+                    "message exceeded the retransmission budget; "
+                    "loss_rate is unrealistically high"
+                )
+        arrival = self._now + 1 + (attempts - 1) * self.retransmit_after
+        channel = (sender, recipient)
+        arrival = max(arrival, self._last_arrival.get(channel, 0))
+        self._last_arrival[channel] = arrival
+        self._in_flight.append((arrival, self._sequence, recipient, message))
+        self._sequence += 1
+        self.sent_count += 1
+
+    def deliver(self) -> Inbox:
+        self._now += 1
+        due = [item for item in self._in_flight if item[0] <= self._now]
+        self._in_flight = [
+            item for item in self._in_flight if item[0] > self._now
+        ]
+        # FIFO among arrivals: order by send sequence.
+        due.sort(key=lambda item: item[1])
+        inbox: Inbox = {}
+        for _arrival, _sequence, recipient, message in due:
+            inbox.setdefault(recipient, []).append(message)
+            self.delivered_count += 1
+        return inbox
+
+    def pending(self) -> int:
+        return len(self._in_flight)
+
+
+class RandomDelayNetwork(Network):
+    """Each message independently takes 1..max_delay cycles.
+
+    With ``fifo=True`` messages between an ordered pair of agents are
+    delivered in send order (a message's delivery time is clamped to be no
+    earlier than the previously sent message on the same channel). With
+    ``fifo=False`` messages can overtake each other arbitrarily.
+
+    Deliveries within a cycle are ordered by (send order), independent of the
+    heap's internal layout, so runs are reproducible for a fixed seed.
+    """
+
+    def __init__(
+        self,
+        max_delay: int = 3,
+        rng: Optional[random.Random] = None,
+        fifo: bool = True,
+    ) -> None:
+        super().__init__()
+        if max_delay < 1:
+            raise SimulationError(
+                f"max_delay must be at least 1, got {max_delay}"
+            )
+        self.max_delay = max_delay
+        self.fifo = fifo
+        self._rng = rng if rng is not None else random.Random(0)
+        self._now = 0
+        self._sequence = 0
+        self._heap: List[Tuple[int, int, AgentId, Message]] = []
+        self._last_delivery: Dict[Tuple[AgentId, AgentId], int] = {}
+
+    def send(self, sender: AgentId, recipient: AgentId, message: Message) -> None:
+        if recipient == sender:
+            raise SimulationError(
+                f"agent {sender} attempted to send a message to itself"
+            )
+        arrival = self._now + self._rng.randint(1, self.max_delay)
+        if self.fifo:
+            channel = (sender, recipient)
+            arrival = max(arrival, self._last_delivery.get(channel, 0))
+            self._last_delivery[channel] = arrival
+        heapq.heappush(self._heap, (arrival, self._sequence, recipient, message))
+        self._sequence += 1
+        self.sent_count += 1
+
+    def deliver(self) -> Inbox:
+        self._now += 1
+        due: List[Tuple[int, int, AgentId, Message]] = []
+        while self._heap and self._heap[0][0] <= self._now:
+            due.append(heapq.heappop(self._heap))
+        due.sort(key=lambda item: item[1])
+        inbox: Inbox = {}
+        for _arrival, _sequence, recipient, message in due:
+            inbox.setdefault(recipient, []).append(message)
+            self.delivered_count += 1
+        return inbox
+
+    def pending(self) -> int:
+        return len(self._heap)

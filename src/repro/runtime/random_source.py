@@ -1,0 +1,34 @@
+"""Deterministic derivation of independent random streams.
+
+Every stochastic choice in the library — initial values, generator
+sampling, tie-breaking — draws from an explicit :class:`random.Random`
+instance derived from a master seed and a tag path. Deriving (rather than
+sharing) streams keeps components independent: adding a draw in one agent
+cannot shift the stream of another, so experiments stay reproducible under
+refactoring.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import Union
+
+Seed = Union[int, str]
+
+
+def derive_seed(master: Seed, *tags: Seed) -> int:
+    """Derive a child seed from *master* and a tag path, stably across runs.
+
+    Uses SHA-256 over an unambiguous encoding, so ``derive_seed(1, "a")`` and
+    ``derive_seed(1, "a", "b")`` are unrelated, and the result does not
+    depend on Python's per-process hash randomization.
+    """
+    text = "\x1f".join(str(part) for part in (master, *tags))
+    digest = hashlib.sha256(text.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+def derive_rng(master: Seed, *tags: Seed) -> random.Random:
+    """A fresh :class:`random.Random` seeded by :func:`derive_seed`."""
+    return random.Random(derive_seed(master, *tags))

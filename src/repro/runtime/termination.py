@@ -1,0 +1,63 @@
+"""Detecting when a simulated run is done.
+
+The paper's simulator observes the system globally: a trial ends when the
+agents' current values form a solution ("cycles consumed until a solution is
+found"), or when the cycle cap (10 000 in the paper) is hit. This module
+provides that observer, plus a stricter stability-aware variant used by the
+asynchronous-network experiments: under message delays a *transient* global
+assignment can look like a solution while contradicting information is still
+in flight, and whether to count that as solved is a modelling choice.
+
+For the paper's reproduction the plain detector is correct — the paper's
+own simulator does exactly this — and for a consistent assignment of a CSP
+in-flight messages can only confirm it, never invalidate it (nogoods are
+entailed by the problem), so "solution observed" is safe in both modes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping
+
+from ..core.problem import DisCSP
+from ..core.variables import Value, VariableId
+from .network import Network
+
+
+class GlobalSolutionDetector:
+    """Checks the agents' combined assignment against the original problem.
+
+    Only the *original* nogoods are checked. Learned nogoods are logically
+    entailed by the original ones, so they cannot exclude a true solution,
+    and checking them would make termination depend on the learning method.
+    """
+
+    def __init__(self, problem: DisCSP) -> None:
+        self._problem = problem
+
+    def is_solution(self, assignment: Mapping[VariableId, Value]) -> bool:
+        """True if *assignment* solves the problem."""
+        return self._problem.is_solution(assignment)
+
+
+class QuiescentSolutionDetector(GlobalSolutionDetector):
+    """A solution only counts once the network is also idle.
+
+    Used by the asynchronous-network experiments to report *stable*
+    termination: the assignment solves the problem and no messages are in
+    flight that could still perturb agents into moving.
+    """
+
+    def __init__(self, problem: DisCSP, network: Network) -> None:
+        super().__init__(problem)
+        self._network = network
+
+    def is_solution(self, assignment: Mapping[VariableId, Value]) -> bool:
+        return self._network.is_idle() and super().is_solution(assignment)
+
+
+def collect_assignment(agents) -> Dict[VariableId, Value]:
+    """Merge the local assignments of *agents* into one global assignment."""
+    merged: Dict[VariableId, Value] = {}
+    for agent in agents:
+        merged.update(agent.local_assignment())
+    return merged

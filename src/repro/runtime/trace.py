@@ -1,0 +1,135 @@
+"""Execution tracing for simulated runs.
+
+Distributed algorithms are miserable to debug from final states alone. A
+:class:`TraceRecorder` attached to the simulator records, per cycle, every
+message routed and every variable whose value changed, and can render the
+whole run as a readable log. Tracing is strictly observational — it never
+alters delivery, ordering, or cost accounting — and is off by default
+(recording every message of a 10 000-cycle run is memory-hungry; the
+``max_events`` bound drops the oldest events past the cap).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..core.problem import AgentId
+from ..core.variables import Value, VariableId
+from .messages import Message
+
+
+@dataclass(frozen=True)
+class MessageEvent:
+    """One message routed during a cycle."""
+
+    cycle: int
+    sender: AgentId
+    recipient: AgentId
+    message: Message
+
+    def describe(self) -> str:
+        kind = type(self.message).__name__.replace("Message", "")
+        return (
+            f"[{self.cycle:>5}] {self.sender} -> {self.recipient}: "
+            f"{kind} {self.message}"
+        )
+
+
+@dataclass(frozen=True)
+class ValueChangeEvent:
+    """One variable changing value between consecutive cycles."""
+
+    cycle: int
+    variable: VariableId
+    old_value: Optional[Value]
+    new_value: Value
+
+    def describe(self) -> str:
+        return (
+            f"[{self.cycle:>5}] x{self.variable}: "
+            f"{self.old_value!r} -> {self.new_value!r}"
+        )
+
+
+class TraceRecorder:
+    """Collects message and value-change events from a simulated run."""
+
+    def __init__(self, max_events: int = 100_000) -> None:
+        self.max_events = max_events
+        self.messages: List[MessageEvent] = []
+        self.changes: List[ValueChangeEvent] = []
+        self.dropped = 0
+        self._last_assignment: Dict[VariableId, Value] = {}
+
+    # -- hooks called by the simulator ------------------------------------------
+
+    def on_message(
+        self,
+        cycle: int,
+        sender: AgentId,
+        recipient: AgentId,
+        message: Message,
+    ) -> None:
+        if len(self.messages) >= self.max_events:
+            self.dropped += 1
+            return
+        self.messages.append(MessageEvent(cycle, sender, recipient, message))
+
+    def on_cycle_end(
+        self, cycle: int, assignment: Dict[VariableId, Value]
+    ) -> None:
+        for variable, value in assignment.items():
+            previous = self._last_assignment.get(variable)
+            if previous != value:
+                if len(self.changes) < self.max_events:
+                    self.changes.append(
+                        ValueChangeEvent(cycle, variable, previous, value)
+                    )
+                else:
+                    self.dropped += 1
+        self._last_assignment = dict(assignment)
+
+    # -- queries -----------------------------------------------------------------
+
+    def messages_in_cycle(self, cycle: int) -> List[MessageEvent]:
+        """Messages routed during one cycle."""
+        return [event for event in self.messages if event.cycle == cycle]
+
+    def changes_of(self, variable: VariableId) -> List[ValueChangeEvent]:
+        """The value history of one variable."""
+        return [
+            event for event in self.changes if event.variable == variable
+        ]
+
+    def message_counts_by_type(self) -> Dict[str, int]:
+        """How many messages of each type were sent over the run."""
+        counts: Counter = Counter(
+            type(event.message).__name__ for event in self.messages
+        )
+        return dict(counts)
+
+    def busiest_agents(self, top: int = 5) -> List[Tuple[AgentId, int]]:
+        """Agents ranked by messages sent."""
+        counts: Counter = Counter(event.sender for event in self.messages)
+        return counts.most_common(top)
+
+    def render(self, limit: int = 200) -> str:
+        """The merged event log as text (first *limit* events)."""
+        merged = sorted(
+            self.messages + self.changes,
+            key=lambda event: event.cycle,
+        )
+        lines = [event.describe() for event in merged[:limit]]
+        if len(merged) > limit:
+            lines.append(f"... {len(merged) - limit} more events")
+        if self.dropped:
+            lines.append(f"... {self.dropped} events dropped (max_events)")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"TraceRecorder({len(self.messages)} messages, "
+            f"{len(self.changes)} value changes)"
+        )

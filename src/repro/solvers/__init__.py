@@ -1,0 +1,34 @@
+"""Centralized solver substrate: SAT engines and CSP backtracking.
+
+These are reference/oracle components, not the paper's contribution:
+
+* :class:`DpllSolver` — simple and auditable; does bounded model counting
+  (the uniqueness verification oracle);
+* :class:`CdclSolver` — conflict-driven clause learning (watched literals,
+  1UIP, backjumping, restarts); the workhorse behind the unique-solution
+  generator, whose final no-second-model proof is a genuinely hard UNSAT
+  call at n = 200;
+* :class:`BacktrackingSolver` — CSP ground truth for tests.
+"""
+
+from .backtracking import (
+    BacktrackingSolver,
+    brute_force_solutions,
+    count_csp_solutions,
+    solve_csp,
+)
+from .cdcl import CdclSolver, luby
+from .dpll import Clause, DpllSolver, blocking_clause, normalize_clause
+
+__all__ = [
+    "BacktrackingSolver",
+    "CdclSolver",
+    "Clause",
+    "DpllSolver",
+    "blocking_clause",
+    "brute_force_solutions",
+    "count_csp_solutions",
+    "luby",
+    "normalize_clause",
+    "solve_csp",
+]

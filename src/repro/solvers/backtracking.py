@@ -1,0 +1,137 @@
+"""A centralized backtracking solver over nogood constraints.
+
+Used as a reference oracle — verifying that generated instances are
+solvable, that distributed solutions agree with centralized ones, and that
+"unsolvable" verdicts from the distributed algorithms are genuine. It is
+deliberately simple (chronological backtracking, static most-constrained
+variable order, partial-nogood forward checking): correctness and clarity
+over speed, since the test and verification workloads are small.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..core.exceptions import SolverError
+from ..core.nogood import Nogood
+from ..core.problem import CSP
+from ..core.variables import Value, VariableId
+
+
+class BacktrackingSolver:
+    """Chronological backtracking with per-variable nogood indexing."""
+
+    def __init__(self, csp: CSP, max_nodes: int = 2_000_000) -> None:
+        self.csp = csp
+        self.max_nodes = max_nodes
+        # Static order: most-constrained (highest nogood degree) first.
+        self._order: List[VariableId] = sorted(
+            csp.variables,
+            key=lambda variable: (-len(csp.relevant_nogoods(variable)), variable),
+        )
+        self._position = {
+            variable: index for index, variable in enumerate(self._order)
+        }
+        # A nogood is checked when its *last* variable (in search order) is
+        # assigned: each nogood is tested exactly once per branch.
+        self._checks_at: Dict[VariableId, List[Nogood]] = {
+            variable: [] for variable in csp.variables
+        }
+        for nogood in csp.nogoods:
+            if len(nogood) == 0:
+                self._trivially_unsolvable = True
+                break
+            last = max(nogood.variables, key=self._position.__getitem__)
+            self._checks_at[last].append(nogood)
+        else:
+            self._trivially_unsolvable = False
+
+    def solve(self) -> Optional[Dict[VariableId, Value]]:
+        """One solution, or None if the problem has none."""
+        for solution in self.solutions(limit=1):
+            return solution
+        return None
+
+    def count_solutions(self, limit: int = 2) -> int:
+        """The number of solutions, capped at *limit*."""
+        count = 0
+        for _solution in self.solutions(limit=limit):
+            count += 1
+        return count
+
+    def solutions(
+        self, limit: Optional[int] = None
+    ) -> Iterator[Dict[VariableId, Value]]:
+        """Yield solutions (up to *limit*) in search order."""
+        if self._trivially_unsolvable:
+            return
+        assignment: Dict[VariableId, Value] = {}
+        nodes = [0]
+        yielded = [0]
+
+        def extend(depth: int) -> Iterator[Dict[VariableId, Value]]:
+            nodes[0] += 1
+            if nodes[0] > self.max_nodes:
+                raise SolverError(
+                    f"backtracking node budget exhausted ({self.max_nodes})"
+                )
+            if depth == len(self._order):
+                yielded[0] += 1
+                yield dict(assignment)
+                return
+            variable = self._order[depth]
+            for value in self.csp.domain_of(variable):
+                assignment[variable] = value
+                if not self._violates(variable, assignment):
+                    yield from extend(depth + 1)
+                    if limit is not None and yielded[0] >= limit:
+                        del assignment[variable]
+                        return
+            del assignment[variable]
+
+        yield from extend(0)
+
+    def _violates(
+        self, variable: VariableId, assignment: Dict[VariableId, Value]
+    ) -> bool:
+        for nogood in self._checks_at[variable]:
+            if nogood.prohibits(assignment):
+                return True
+        return False
+
+
+def solve_csp(csp: CSP) -> Optional[Dict[VariableId, Value]]:
+    """Convenience wrapper: one solution of *csp*, or None."""
+    return BacktrackingSolver(csp).solve()
+
+
+def count_csp_solutions(csp: CSP, limit: int = 2) -> int:
+    """Convenience wrapper: number of solutions of *csp*, capped at *limit*."""
+    return BacktrackingSolver(csp).count_solutions(limit)
+
+
+def brute_force_solutions(csp: CSP) -> List[Dict[VariableId, Value]]:
+    """All solutions by exhaustive enumeration — tiny problems only.
+
+    Exists so tests can cross-check the backtracking solver (and the
+    distributed algorithms) against an implementation too simple to be
+    wrong. Guarded to at most ~1e6 candidate assignments.
+    """
+    import itertools
+
+    variables = list(csp.variables)
+    sizes = 1
+    for variable in variables:
+        sizes *= len(csp.domain_of(variable))
+        if sizes > 1_000_000:
+            raise SolverError(
+                "brute force restricted to ~1e6 candidates; "
+                f"this problem has more ({sizes}+)"
+            )
+    solutions = []
+    domains = [csp.domain_of(variable).values for variable in variables]
+    for combo in itertools.product(*domains):
+        assignment = dict(zip(variables, combo))
+        if csp.is_solution(assignment):
+            solutions.append(assignment)
+    return solutions

@@ -1,0 +1,123 @@
+"""Multi-variable AWC internals: routing, carry-over, and the round cap."""
+
+import pytest
+
+from repro.algorithms.multi_awc import (
+    DEFAULT_INTRA_ROUND_CAP,
+    MultiVariableAwcAgent,
+    build_multi_awc_agents,
+)
+from repro.core import CSP, DisCSP, Nogood, integer_domain
+from repro.core.exceptions import ModelError
+from repro.learning import learning_method
+from repro.problems.coloring import coloring_csp
+from repro.runtime.messages import (
+    NogoodMessage,
+    OkMessage,
+    RequestValueMessage,
+)
+from repro.runtime.metrics import MetricsCollector
+from repro.runtime.random_source import derive_rng
+
+from ..conftest import triangle_graph
+
+
+def hosted_triangle(num_agents=1):
+    csp = coloring_csp(triangle_graph(), 3)
+    owner = {variable: variable % num_agents for variable in csp.variables}
+    return DisCSP(csp, owner)
+
+
+def make_host(problem, agent_id=0, intra_round_cap=DEFAULT_INTRA_ROUND_CAP):
+    return MultiVariableAwcAgent(
+        agent_id,
+        problem,
+        learning_method("Rslv"),
+        MetricsCollector(),
+        lambda variable: derive_rng(0, "host-test", variable),
+        intra_round_cap=intra_round_cap,
+    )
+
+
+class TestRouting:
+    def test_external_ok_fans_out_to_all_handlers(self):
+        problem = hosted_triangle(num_agents=2)  # agent 0 owns x0, x2
+        host = make_host(problem, 0)
+        host.initialize()
+        host.step([OkMessage(1, 1, 0, 0)])
+        for handler in host._handlers.values():
+            assert handler.view.value_of(1) == 0
+
+    def test_nogood_routed_only_to_mentioned_handlers(self):
+        problem = hosted_triangle(num_agents=2)
+        host = make_host(problem, 0)
+        host.initialize()
+        nogood = Nogood.of((0, 0), (1, 1))
+        host.step([NogoodMessage(1, nogood)])
+        assert nogood in host._handlers[0].store
+        assert nogood not in host._handlers[2].store
+
+    def test_request_routed_to_owning_handler(self):
+        problem = hosted_triangle(num_agents=2)
+        host = make_host(problem, 0)
+        host.initialize()
+        outgoing = host.step([RequestValueMessage(1, 2)])
+        replies = [
+            m for r, m in outgoing if isinstance(m, OkMessage)
+            and m.variable == 2 and r == 1
+        ]
+        assert replies
+
+    def test_unroutable_message_rejected(self):
+        problem = hosted_triangle(num_agents=2)
+        host = make_host(problem, 0)
+        from repro.runtime.messages import ImproveMessage
+
+        with pytest.raises(ModelError):
+            host._enqueue(ImproveMessage(1, 0, 0, 0), None)
+
+
+class TestIntraRounds:
+    def test_internal_messages_resolved_within_a_cycle(self):
+        # One agent owns the whole triangle: after initialize the internal
+        # negotiation should already have produced a proper coloring.
+        problem = hosted_triangle(num_agents=1)
+        host = make_host(problem)
+        host.initialize()
+        assignment = host.local_assignment()
+        assert problem.is_solution(assignment)
+
+    def test_cap_defers_leftover_messages(self):
+        problem = hosted_triangle(num_agents=1)
+        host = make_host(problem, intra_round_cap=1)
+        host.initialize()
+        # With a cap of 1, internal traffic may be left over — it must be
+        # queued, not lost, and further (empty) steps drain it.
+        for _ in range(20):
+            host.step([])
+            if problem.is_solution(host.local_assignment()):
+                break
+        assert problem.is_solution(host.local_assignment())
+
+    def test_failure_propagates_from_handler(self):
+        csp = CSP(
+            {0: integer_domain(1), 1: integer_domain(1)},
+            [Nogood.of((0, 0), (1, 0))],
+        )
+        problem = DisCSP(csp, {0: 0, 1: 0})
+        host = make_host(problem)
+        host.initialize()
+        for _ in range(30):
+            host.step([])
+            if host.failure is not None:
+                break
+        assert host.failure is not None
+
+
+class TestBuilder:
+    def test_builds_one_host_per_agent(self):
+        problem = hosted_triangle(num_agents=2)
+        agents = build_multi_awc_agents(
+            problem, learning_method("Rslv"), MetricsCollector(), seed=0
+        )
+        assert sorted(agent.id for agent in agents) == [0, 1]

@@ -1,0 +1,59 @@
+"""The algorithm registry: names map to working builders."""
+
+import pytest
+
+from repro.algorithms.abt import AbtAgent
+from repro.algorithms.awc import AwcAgent
+from repro.algorithms.breakout import BreakoutAgent
+from repro.algorithms.registry import abt, algorithm_by_name, awc, db
+from repro.core.exceptions import ModelError
+from repro.learning import ResolventLearning
+from repro.problems.coloring import coloring_discsp
+from repro.runtime.metrics import MetricsCollector
+
+from ..conftest import triangle_graph
+
+
+def build(spec):
+    problem = coloring_discsp(triangle_graph(), 3)
+    return spec.build(problem, MetricsCollector(), 0, None)
+
+
+class TestSpecs:
+    def test_awc_names_follow_learning(self):
+        assert awc("Rslv").name == "AWC+Rslv"
+        assert awc("3rdRslv").name == "AWC+3rdRslv"
+        assert awc("Rslv/norec").name == "AWC+Rslv/norec"
+
+    def test_awc_accepts_method_instance(self):
+        spec = awc(ResolventLearning())
+        assert spec.name == "AWC+Rslv"
+
+    def test_db_name(self):
+        assert db().name == "DB"
+        assert db("pair").name == "DB(pair)"
+
+    def test_abt_name(self):
+        assert abt().name == "ABT"
+
+    def test_builders_produce_the_right_agents(self):
+        assert all(isinstance(a, AwcAgent) for a in build(awc("Rslv")))
+        assert all(isinstance(a, BreakoutAgent) for a in build(db()))
+        assert all(isinstance(a, AbtAgent) for a in build(abt()))
+
+
+class TestByName:
+    @pytest.mark.parametrize(
+        "name",
+        ["AWC+Rslv", "AWC+Mcs", "AWC+No", "AWC+4thRslv", "DB", "ABT"],
+    )
+    def test_round_trips(self, name):
+        assert algorithm_by_name(name).name == name
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ModelError):
+            algorithm_by_name("SGD")
+
+    def test_unknown_learning_rejected(self):
+        with pytest.raises(ModelError):
+            algorithm_by_name("AWC+Nothing")

@@ -1,0 +1,72 @@
+"""Unary constraints and isolated agents — message-driven algorithms' blind
+spot, handled at initialization."""
+
+import pytest
+
+from repro.algorithms.registry import abt, awc
+from repro.core import DisCSP, Nogood, integer_domain
+from repro.experiments.runner import run_trial
+
+
+def single_agent_problem(nogoods):
+    return DisCSP.one_variable_per_agent({0: integer_domain(2)}, nogoods)
+
+
+class TestSingleAgent:
+    @pytest.mark.parametrize(
+        "spec_factory", [lambda: awc("Rslv"), lambda: abt()],
+        ids=["AWC", "ABT"],
+    )
+    def test_unary_blocked_value_avoided(self, spec_factory):
+        problem = single_agent_problem([Nogood.of((0, 0))])
+        result = run_trial(problem, spec_factory(), seed=0, max_cycles=50)
+        assert result.solved
+        assert result.assignment == {0: 1}
+
+    @pytest.mark.parametrize(
+        "spec_factory", [lambda: awc("Rslv"), lambda: abt()],
+        ids=["AWC", "ABT"],
+    )
+    def test_fully_blocked_domain_proven_unsolvable(self, spec_factory):
+        problem = single_agent_problem(
+            [Nogood.of((0, 0)), Nogood.of((0, 1))]
+        )
+        result = run_trial(problem, spec_factory(), seed=0, max_cycles=50)
+        assert result.unsolvable
+
+    def test_unconstrained_single_agent_is_immediately_solved(self):
+        problem = single_agent_problem([])
+        result = run_trial(problem, awc("Rslv"), seed=0)
+        assert result.solved
+        assert result.cycles == 0
+
+
+class TestUnaryPlusBinary:
+    def test_unary_constraints_interact_with_arcs(self):
+        # x0 != 0 (unary), x0 == x1 forbidden pairwise on both values:
+        # the only solution is x0=1, x1=0.
+        problem = DisCSP.one_variable_per_agent(
+            {0: integer_domain(2), 1: integer_domain(2)},
+            [
+                Nogood.of((0, 0)),
+                Nogood.of((0, 0), (1, 0)),
+                Nogood.of((0, 1), (1, 1)),
+            ],
+        )
+        result = run_trial(problem, awc("Rslv"), seed=3, max_cycles=200)
+        assert result.solved
+        assert result.assignment == {0: 1, 1: 0}
+
+    def test_unary_unsat_via_learning(self):
+        # Binary constraints force a contradiction with the unary ones only
+        # after learning: x0 != 0, x1 != 0, and all mixed pairs forbidden.
+        problem = DisCSP.one_variable_per_agent(
+            {0: integer_domain(2), 1: integer_domain(2)},
+            [
+                Nogood.of((0, 0)),
+                Nogood.of((1, 0)),
+                Nogood.of((0, 1), (1, 1)),
+            ],
+        )
+        result = run_trial(problem, awc("Rslv"), seed=1, max_cycles=500)
+        assert result.unsolvable

@@ -1,0 +1,91 @@
+"""ASCII line plots."""
+
+import pytest
+
+from repro.analysis.textplot import MARKERS, Series, line_plot
+from repro.core.exceptions import ModelError
+
+
+def simple_series(label="a", marker_points=((0, 0), (10, 10))):
+    return Series(label=label, points=tuple(marker_points))
+
+
+class TestSeries:
+    def test_from_function(self):
+        series = Series.from_function("sq", [0, 2, 3], lambda x: x * x)
+        assert series.points == ((0.0, 0.0), (2.0, 4.0), (3.0, 9.0))
+
+
+class TestLinePlot:
+    def test_contains_title_legend_and_axes(self):
+        text = line_plot(
+            [simple_series()],
+            title="demo",
+            x_label="xs",
+            y_label="ys",
+        )
+        assert text.splitlines()[0] == "demo"
+        assert "* a" in text
+        assert "xs" in text
+        assert "ys" in text
+        assert "+" in text  # axis corner
+
+    def test_monotone_line_descends_visually(self):
+        text = line_plot([simple_series()], width=20, height=10)
+        rows = [
+            line for line in text.splitlines() if "|" in line
+        ]
+        first_marker_row = next(
+            i for i, row in enumerate(rows) if "*" in row
+        )
+        last_marker_row = max(
+            i for i, row in enumerate(rows) if "*" in row
+        )
+        # Higher y-values render in earlier rows.
+        assert first_marker_row == 0
+        assert last_marker_row == len(rows) - 1
+
+    def test_two_series_get_distinct_markers(self):
+        text = line_plot(
+            [
+                simple_series("up", ((0, 0), (10, 10))),
+                simple_series("down", ((0, 10), (10, 0))),
+            ]
+        )
+        assert MARKERS[0] in text
+        assert MARKERS[1] in text
+        assert "up" in text and "down" in text
+
+    def test_crossing_lines_intersect_somewhere(self):
+        text = line_plot(
+            [
+                simple_series("up", ((0, 0), (10, 10))),
+                simple_series("down", ((0, 10), (10, 0))),
+            ],
+            width=21,
+            height=11,
+        )
+        rows = [line for line in text.splitlines() if "|" in line]
+        middle = rows[len(rows) // 2]
+        assert MARKERS[0] in middle or MARKERS[1] in middle
+
+    def test_single_point_series(self):
+        text = line_plot([simple_series("dot", ((5, 5),))])
+        assert "*" in text
+
+    def test_axis_labels_show_bounds(self):
+        text = line_plot([simple_series("a", ((2, 3), (8, 9)))])
+        assert "2" in text and "8" in text
+        assert "3" in text and "9" in text
+
+    def test_flat_series_does_not_crash(self):
+        text = line_plot([simple_series("flat", ((0, 5), (10, 5)))])
+        assert "*" in text
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            line_plot([])
+        with pytest.raises(ModelError):
+            line_plot([simple_series()], width=2)
+        with pytest.raises(ModelError):
+            line_plot([Series("empty", ())])

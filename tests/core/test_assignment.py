@@ -1,0 +1,63 @@
+"""Agent views: values and priorities learned from ok? messages."""
+
+from repro.core.assignment import AgentView, ViewEntry, merge_assignments
+
+
+class TestAgentView:
+    def test_starts_empty(self):
+        view = AgentView()
+        assert len(view) == 0
+        assert not view.knows(1)
+        assert view.value_of(1) is None
+
+    def test_update_and_read(self):
+        view = AgentView()
+        assert view.update(1, "red", 2)
+        assert view.knows(1)
+        assert view.value_of(1) == "red"
+        assert view.priority_of(1) == 2
+        assert view.entry(1) == ViewEntry("red", 2)
+
+    def test_update_reports_change(self):
+        view = AgentView()
+        assert view.update(1, 0, 0) is True
+        assert view.update(1, 0, 0) is False  # identical: no change
+        assert view.update(1, 1, 0) is True  # value changed
+        assert view.update(1, 1, 3) is True  # priority changed
+
+    def test_unknown_priority_defaults_to_zero(self):
+        assert AgentView().priority_of(42) == 0
+
+    def test_forget(self):
+        view = AgentView()
+        view.update(1, 0, 0)
+        view.forget(1)
+        assert not view.knows(1)
+        view.forget(1)  # idempotent
+
+    def test_as_assignment_is_a_copy(self):
+        view = AgentView()
+        view.update(1, 0, 0)
+        snapshot = view.as_assignment()
+        assert snapshot == {1: 0}
+        snapshot[1] = 9
+        assert view.value_of(1) == 0
+
+    def test_variables_sorted(self):
+        view = AgentView()
+        view.update(5, 0, 0)
+        view.update(2, 0, 0)
+        assert view.variables() == (2, 5)
+
+    def test_iteration(self):
+        view = AgentView()
+        view.update(3, 0, 0)
+        assert list(view) == [3]
+
+
+class TestMergeAssignments:
+    def test_later_wins(self):
+        assert merge_assignments({1: 0, 2: 0}, {2: 1}) == {1: 0, 2: 1}
+
+    def test_empty(self):
+        assert merge_assignments() == {}

@@ -1,0 +1,118 @@
+"""Nogood semantics: the constraint representation everything rests on."""
+
+import pytest
+
+from repro.core.exceptions import ModelError
+from repro.core.nogood import Nogood, union_nogoods
+
+
+class TestConstruction:
+    def test_of_builder(self):
+        nogood = Nogood.of((1, 0), (2, 1))
+        assert nogood.pairs == frozenset({(1, 0), (2, 1)})
+
+    def test_from_assignment(self):
+        nogood = Nogood.from_assignment({1: 0, 2: 1})
+        assert nogood == Nogood.of((1, 0), (2, 1))
+
+    def test_duplicate_pair_collapses(self):
+        assert len(Nogood.of((1, 0), (1, 0))) == 1
+
+    def test_conflicting_values_rejected(self):
+        with pytest.raises(ModelError):
+            Nogood.of((1, 0), (1, 1))
+
+    def test_empty_nogood_is_legal(self):
+        assert len(Nogood([])) == 0
+
+
+class TestQueries:
+    def test_variables(self):
+        assert Nogood.of((3, 0), (7, 1)).variables == frozenset({3, 7})
+
+    def test_value_of(self):
+        nogood = Nogood.of((3, 0), (7, 1))
+        assert nogood.value_of(3) == 0
+        assert nogood.value_of(7) == 1
+        assert nogood.value_of(9) is None
+
+    def test_mentions(self):
+        nogood = Nogood.of((3, 0))
+        assert nogood.mentions(3)
+        assert not nogood.mentions(4)
+
+    def test_without(self):
+        nogood = Nogood.of((1, 0), (2, 1))
+        assert nogood.without(1) == Nogood.of((2, 1))
+        assert nogood.without(9) is nogood
+
+    def test_restricted_to(self):
+        nogood = Nogood.of((1, 0), (2, 1), (3, 2))
+        assert nogood.restricted_to([1, 3]) == Nogood.of((1, 0), (3, 2))
+
+    def test_is_subset_of(self):
+        small = Nogood.of((1, 0))
+        large = Nogood.of((1, 0), (2, 1))
+        assert small.is_subset_of(large)
+        assert not large.is_subset_of(small)
+        assert Nogood.of((1, 1)).is_subset_of(large) is False
+
+
+class TestProhibits:
+    def test_violated_when_all_pairs_match(self):
+        nogood = Nogood.of((1, 0), (2, 1))
+        assert nogood.prohibits({1: 0, 2: 1})
+        assert nogood.prohibits({1: 0, 2: 1, 3: 5})
+
+    def test_not_violated_on_mismatch(self):
+        nogood = Nogood.of((1, 0), (2, 1))
+        assert not nogood.prohibits({1: 0, 2: 0})
+
+    def test_not_violated_when_variable_unassigned(self):
+        nogood = Nogood.of((1, 0), (2, 1))
+        assert not nogood.prohibits({1: 0})
+
+    def test_empty_nogood_prohibits_everything(self):
+        assert Nogood([]).prohibits({})
+        assert Nogood([]).prohibits({1: 0})
+
+    def test_none_is_a_legal_value(self):
+        # Values need only be hashable; None must not be confused with
+        # "unassigned".
+        nogood = Nogood.of((1, None))
+        assert nogood.prohibits({1: None})
+        assert not nogood.prohibits({})
+        assert not nogood.prohibits({1: 0})
+
+
+class TestIdentity:
+    def test_equality_ignores_order(self):
+        assert Nogood.of((1, 0), (2, 1)) == Nogood.of((2, 1), (1, 0))
+
+    def test_hash_consistency(self):
+        assert hash(Nogood.of((1, 0), (2, 1))) == hash(
+            Nogood.of((2, 1), (1, 0))
+        )
+
+    def test_set_membership(self):
+        seen = {Nogood.of((1, 0)), Nogood.of((2, 0))}
+        assert Nogood.of((1, 0)) in seen
+        assert Nogood.of((1, 1)) not in seen
+
+    def test_repr_is_sorted_and_readable(self):
+        assert repr(Nogood.of((2, 1), (1, 0))) == "Nogood[(x1=0), (x2=1)]"
+
+
+class TestUnion:
+    def test_union_merges_pairs(self):
+        merged = union_nogoods(
+            [Nogood.of((1, 0)), Nogood.of((2, 1)), Nogood.of((1, 0), (3, 2))]
+        )
+        assert merged == Nogood.of((1, 0), (2, 1), (3, 2))
+
+    def test_union_of_nothing_is_empty(self):
+        assert len(union_nogoods([])) == 0
+
+    def test_union_conflict_raises(self):
+        with pytest.raises(ModelError):
+            union_nogoods([Nogood.of((1, 0)), Nogood.of((1, 1))])

@@ -1,0 +1,65 @@
+"""The priority total order (paper Section 2.2)."""
+
+from repro.core.priorities import (
+    TOP_KEY,
+    nogood_priority_key,
+    order_key,
+    outranks,
+)
+
+
+class TestOrderKey:
+    def test_higher_numeric_priority_wins(self):
+        assert order_key(2, 9) > order_key(1, 0)
+
+    def test_tie_broken_by_smaller_variable_id(self):
+        # The paper: "All ties in priorities are broken due to the
+        # alphabetical order of variables' ids."
+        assert order_key(1, 3) > order_key(1, 5)
+        assert order_key(0, 0) > order_key(0, 1)
+
+    def test_keys_are_totally_ordered(self):
+        keys = [order_key(p, v) for p in range(3) for v in range(3)]
+        assert len(set(keys)) == len(keys)
+
+    def test_zero_priority_baseline(self):
+        assert order_key(0, 5) < order_key(1, 5)
+
+
+class TestOutranks:
+    def test_strictly_higher(self):
+        assert outranks(2, 7, 1, 3)
+
+    def test_equal_priority_smaller_id_outranks(self):
+        assert outranks(1, 2, 1, 4)
+        assert not outranks(1, 4, 1, 2)
+
+    def test_never_outranks_itself(self):
+        assert not outranks(1, 4, 1, 4)
+
+
+class TestNogoodPriorityKey:
+    def test_is_the_minimum_member(self):
+        # The paper's example: nogood over x1 (prio 2) and x2 (prio 1) seen
+        # from x5: the nogood's priority is x2's (the lowest).
+        key = nogood_priority_key([(2, 1), (1, 2)])
+        assert key == order_key(1, 2)
+
+    def test_empty_membership_is_top(self):
+        # A unary nogood on the owner's own variable binds unconditionally.
+        assert nogood_priority_key([]) == TOP_KEY
+
+    def test_top_key_beats_everything(self):
+        assert TOP_KEY > order_key(10**9, 0)
+
+    def test_tie_between_members_resolved_by_id(self):
+        # Members with equal priority: the larger id is the *lower* ranked,
+        # so it defines the nogood's priority.
+        key = nogood_priority_key([(1, 2), (1, 7)])
+        assert key == order_key(1, 7)
+
+    def test_paper_example_nogood_is_higher_than_x5(self):
+        # Agent 5 (priority 0) sees nogood over x1 (prio 2) and x2 (prio 1):
+        # nogood priority 1 > 0, so the nogood is higher.
+        nogood_key = nogood_priority_key([(2, 1), (1, 2)])
+        assert nogood_key > order_key(0, 5)

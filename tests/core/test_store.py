@@ -1,0 +1,156 @@
+"""The nogood store: indexing, deduplication, and check accounting."""
+
+import pytest
+
+from repro.core.assignment import AgentView
+from repro.core.nogood import Nogood
+from repro.core.priorities import order_key
+from repro.core.store import CheckCounter, LinearNogoodStore, NogoodStore
+
+
+def make_view(entries):
+    view = AgentView()
+    for variable, (value, priority) in entries.items():
+        view.update(variable, value, priority)
+    return view
+
+
+class TestAddAndLookup:
+    def test_add_returns_true_once(self):
+        store = NogoodStore(own_variable=0)
+        nogood = Nogood.of((0, 1), (1, 1))
+        assert store.add(nogood) is True
+        assert store.add(nogood) is False
+        assert len(store) == 1
+        assert nogood in store
+
+    def test_for_value_buckets_by_own_value(self):
+        store = NogoodStore(own_variable=0)
+        a = Nogood.of((0, 0), (1, 0))
+        b = Nogood.of((0, 1), (1, 1))
+        store.add(a)
+        store.add(b)
+        assert store.for_value(0) == [a]
+        assert store.for_value(1) == [b]
+        assert store.for_value(2) == []
+
+    def test_nogood_without_own_variable_applies_to_all_values(self):
+        store = NogoodStore(own_variable=0)
+        other = Nogood.of((1, 0), (2, 0))
+        store.add(other)
+        assert other in store.for_value(0)
+        assert other in store.for_value(1)
+
+    def test_nogoods_iterates_everything(self):
+        store = NogoodStore(own_variable=0)
+        store.add(Nogood.of((0, 0), (1, 0)))
+        store.add(Nogood.of((1, 1), (2, 1)))
+        assert len(list(store.nogoods())) == 2
+
+
+class TestViolationChecking:
+    def test_violated_when_view_and_value_match(self):
+        store = NogoodStore(own_variable=0)
+        nogood = Nogood.of((0, 1), (1, 2))
+        view = make_view({1: (2, 0)})
+        assert store.is_violated(nogood, view, own_value=1)
+        assert not store.is_violated(nogood, view, own_value=0)
+
+    def test_unknown_variable_blocks_violation(self):
+        store = NogoodStore(own_variable=0)
+        nogood = Nogood.of((0, 1), (9, 2))
+        assert not store.is_violated(nogood, AgentView(), own_value=1)
+
+    def test_every_test_counts_one_check(self):
+        counter = CheckCounter()
+        store = NogoodStore(own_variable=0, counter=counter)
+        nogood = Nogood.of((0, 1), (1, 2))
+        view = make_view({1: (2, 0)})
+        store.is_violated(nogood, view, 1)
+        store.is_violated(nogood, view, 0)
+        store.is_violated(nogood, view, 1)
+        assert counter.total == 3
+
+
+class TestPriorityClassification:
+    def test_nogood_priority_is_lowest_member(self):
+        store = NogoodStore(own_variable=5)
+        nogood = Nogood.of((1, 0), (2, 0), (5, 0))
+        view = make_view({1: (0, 2), 2: (0, 1)})
+        assert store.priority_key_of(nogood, view) == order_key(1, 2)
+
+    def test_is_higher_respects_tie_break(self):
+        store = NogoodStore(own_variable=5)
+        nogood = Nogood.of((1, 0), (5, 0))
+        # Same numeric priority: variable 1 < 5, so the nogood is higher.
+        view = make_view({1: (0, 0)})
+        assert store.is_higher(nogood, view, own_priority=0)
+
+    def test_is_higher_false_when_member_is_lower(self):
+        store = NogoodStore(own_variable=1)
+        nogood = Nogood.of((5, 0), (1, 0))
+        view = make_view({5: (0, 0)})
+        # Variable 5 has the same priority but larger id: lower than x1.
+        assert not store.is_higher(nogood, view, own_priority=0)
+
+    def test_unary_own_nogood_is_always_higher(self):
+        store = NogoodStore(own_variable=1)
+        nogood = Nogood.of((1, 0))
+        assert store.is_higher(nogood, AgentView(), own_priority=10**6)
+
+
+class TestCompositeQueries:
+    def setup_method(self):
+        self.counter = CheckCounter()
+        self.store = NogoodStore(own_variable=0, counter=self.counter)
+        # Higher nogood (x9 at priority 5), lower nogood (x1 at priority 0;
+        # x1 > x0 in id order so it ranks below x0 at equal priority).
+        self.high = Nogood.of((0, 0), (9, 1))
+        self.low = Nogood.of((0, 0), (1, 1))
+        self.store.add(self.high)
+        self.store.add(self.low)
+        self.view = make_view({9: (1, 5), 1: (1, 0)})
+
+    def test_violated_higher_returns_only_higher(self):
+        violated = self.store.violated_higher(self.view, 0, own_priority=0)
+        assert violated == [self.high]
+
+    def test_violated_higher_counts_only_higher_checks(self):
+        before = self.counter.total
+        self.store.violated_higher(self.view, 0, own_priority=0)
+        # Only the higher nogood gets a violation test; the lower one is
+        # filtered by priority without costing a check.
+        assert self.counter.total - before == 1
+
+    def test_count_violated_lower(self):
+        assert self.store.count_violated_lower(self.view, 0, own_priority=0) == 1
+
+    def test_count_violated_all(self):
+        assert self.store.count_violated(self.view, 0) == 2
+        assert self.store.count_violated(self.view, 1) == 0
+
+
+class TestLinearStore:
+    def test_scans_all_nogoods_for_any_value(self):
+        store = LinearNogoodStore(own_variable=0)
+        a = Nogood.of((0, 0), (1, 0))
+        b = Nogood.of((0, 1), (1, 1))
+        store.add(a)
+        store.add(b)
+        assert set(store.for_value(0)) == {a, b}
+
+    def test_costs_more_checks_than_indexed(self):
+        view = make_view({1: (0, 1), 2: (0, 1), 3: (0, 1)})
+        nogoods = [
+            Nogood.of((0, value), (other, 0))
+            for value in range(3)
+            for other in (1, 2, 3)
+        ]
+        indexed = NogoodStore(0, CheckCounter())
+        linear = LinearNogoodStore(0, CheckCounter())
+        for nogood in nogoods:
+            indexed.add(nogood)
+            linear.add(nogood)
+        indexed.count_violated(view, 0)
+        linear.count_violated(view, 0)
+        assert linear.counter.total > indexed.counter.total

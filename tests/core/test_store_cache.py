@@ -1,0 +1,94 @@
+"""The priority-key cache: correctness under view changes.
+
+Priority keys are memoized per (view, priority_version); these tests pin
+the invalidation rules so the 7x hot-path speedup can never go stale.
+"""
+
+from repro.core.assignment import AgentView
+from repro.core.nogood import Nogood
+from repro.core.priorities import order_key
+from repro.core.store import NogoodStore
+
+
+def fresh(entries):
+    view = AgentView()
+    for variable, (value, priority) in entries.items():
+        view.update(variable, value, priority)
+    return view
+
+
+class TestPriorityVersion:
+    def test_value_change_does_not_bump(self):
+        view = AgentView()
+        view.update(1, 0, 2)
+        version = view.priority_version
+        view.update(1, 1, 2)  # value only
+        assert view.priority_version == version
+
+    def test_priority_change_bumps(self):
+        view = AgentView()
+        view.update(1, 0, 2)
+        version = view.priority_version
+        view.update(1, 0, 3)
+        assert view.priority_version > version
+
+    def test_new_variable_at_zero_priority_does_not_bump(self):
+        # Unknown variables already read as priority 0, so learning their
+        # value at priority 0 changes no key.
+        view = AgentView()
+        version = view.priority_version
+        view.update(5, 1, 0)
+        assert view.priority_version == version
+
+    def test_new_variable_at_nonzero_priority_bumps(self):
+        view = AgentView()
+        version = view.priority_version
+        view.update(5, 1, 4)
+        assert view.priority_version > version
+
+    def test_forget_bumps_only_for_nonzero_priority(self):
+        view = AgentView()
+        view.update(1, 0, 0)
+        view.update(2, 0, 3)
+        version = view.priority_version
+        view.forget(1)
+        assert view.priority_version == version
+        view.forget(2)
+        assert view.priority_version > version
+
+
+class TestCacheCorrectness:
+    def test_key_updates_after_priority_change(self):
+        store = NogoodStore(own_variable=0)
+        nogood = Nogood.of((0, 0), (3, 1))
+        view = fresh({3: (1, 1)})
+        assert store.priority_key_of(nogood, view) == order_key(1, 3)
+        view.update(3, 1, 9)
+        assert store.priority_key_of(nogood, view) == order_key(9, 3)
+
+    def test_key_stable_across_value_changes(self):
+        store = NogoodStore(own_variable=0)
+        nogood = Nogood.of((0, 0), (3, 1))
+        view = fresh({3: (1, 2)})
+        before = store.priority_key_of(nogood, view)
+        view.update(3, 0, 2)
+        assert store.priority_key_of(nogood, view) == before
+
+    def test_different_view_objects_not_conflated(self):
+        store = NogoodStore(own_variable=0)
+        nogood = Nogood.of((0, 0), (3, 1))
+        first = fresh({3: (1, 5)})
+        second = fresh({3: (1, 7)})
+        assert store.priority_key_of(nogood, first) == order_key(5, 3)
+        assert store.priority_key_of(nogood, second) == order_key(7, 3)
+        assert store.priority_key_of(nogood, first) == order_key(5, 3)
+
+    def test_is_higher_tracks_priority_changes(self):
+        store = NogoodStore(own_variable=0)
+        nogood = Nogood.of((0, 0), (3, 1))
+        store.add(nogood)
+        view = fresh({3: (1, 0)})
+        # x3 at priority 0 with larger id: ranks below x0 → nogood lower.
+        assert not store.is_higher(nogood, view, own_priority=0)
+        view.update(3, 1, 1)
+        assert store.is_higher(nogood, view, own_priority=0)

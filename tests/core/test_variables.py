@@ -1,0 +1,57 @@
+"""Domains and variable basics."""
+
+import pytest
+
+from repro.core.exceptions import ModelError
+from repro.core.variables import (
+    BOOLEAN_DOMAIN,
+    Domain,
+    integer_domain,
+)
+
+
+class TestDomain:
+    def test_preserves_definition_order(self):
+        domain = Domain([2, 0, 1])
+        assert domain.values == (2, 0, 1)
+        assert list(domain) == [2, 0, 1]
+
+    def test_membership(self):
+        domain = Domain(["red", "green"])
+        assert "red" in domain
+        assert "blue" not in domain
+
+    def test_len(self):
+        assert len(Domain(range(5))) == 5
+
+    def test_rejects_empty(self):
+        with pytest.raises(ModelError):
+            Domain([])
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ModelError):
+            Domain([1, 2, 1])
+
+    def test_equality_is_order_sensitive(self):
+        assert Domain([0, 1]) == Domain([0, 1])
+        assert Domain([0, 1]) != Domain([1, 0])
+
+    def test_hashable(self):
+        assert len({Domain([0, 1]), Domain([0, 1]), Domain([1, 0])}) == 2
+
+    def test_repr_mentions_values(self):
+        assert "0" in repr(Domain([0]))
+
+
+class TestIntegerDomain:
+    def test_contents(self):
+        assert integer_domain(3).values == (0, 1, 2)
+
+    def test_rejects_nonpositive_size(self):
+        with pytest.raises(ModelError):
+            integer_domain(0)
+        with pytest.raises(ModelError):
+            integer_domain(-2)
+
+    def test_boolean_domain(self):
+        assert BOOLEAN_DOMAIN.values == (0, 1)

@@ -1,0 +1,49 @@
+"""End-to-end determinism of the experiment pipeline.
+
+Reproducibility is a headline feature: the same scale and seed must give
+bit-identical tables, whatever the algorithm mix. Any nondeterminism that
+sneaks into an agent, a generator, or the harness shows up here first.
+"""
+
+import pytest
+
+from repro.experiments.figure2 import run_figure2
+from repro.experiments.paper import QUICK_SCALE, run_table, run_table4
+
+
+def rows_of(table):
+    return [
+        (row.n, row.label, row.cycle, row.maxcck, row.percent, row.extras)
+        for row in table.rows
+    ]
+
+
+class TestPipelineDeterminism:
+    @pytest.mark.parametrize("number", [1, 8, 10])
+    def test_tables_repeat_exactly(self, number, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        first = run_table(number, scale=QUICK_SCALE, seed=5)
+        second = run_table(number, scale=QUICK_SCALE, seed=5)
+        assert rows_of(first) == rows_of(second)
+
+    def test_different_seed_differs(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        first = run_table(1, scale=QUICK_SCALE, seed=5)
+        second = run_table(1, scale=QUICK_SCALE, seed=6)
+        assert rows_of(first) != rows_of(second)
+
+    def test_table4_repeats_exactly(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        first = run_table4(scale=QUICK_SCALE, seed=5)
+        second = run_table4(scale=QUICK_SCALE, seed=5)
+        assert [rows_of(t) for t in first] == [rows_of(t) for t in second]
+
+    def test_figure2_repeats_exactly(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        first = run_figure2(scale=QUICK_SCALE, seed=5)
+        second = run_figure2(scale=QUICK_SCALE, seed=5)
+        assert (first.awc, first.db, first.crossover) == (
+            second.awc,
+            second.db,
+            second.crossover,
+        )

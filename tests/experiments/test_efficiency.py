@@ -1,0 +1,63 @@
+"""Figure 2's efficiency model and crossover arithmetic."""
+
+import pytest
+
+from repro.experiments.efficiency import (
+    CostLine,
+    crossover_delay,
+    figure_series,
+    format_figure,
+)
+from repro.experiments.reference import FIGURE2_CROSSOVERS, TABLE10
+
+
+class TestCostLine:
+    def test_total_time(self):
+        line = CostLine("x", cycle=100.0, maxcck=1000.0)
+        assert line.total_time(0) == 1000.0
+        assert line.total_time(10) == 2000.0
+
+
+class TestCrossover:
+    def test_paper_table10_numbers_reproduce_the_quoted_crossover(self):
+        # The paper says the crossover at n=50 (d3s1) is "around 50"
+        # time-units; computing it from Table 10's own numbers gives ~48.6.
+        awc_cycle, awc_maxcck, _ = TABLE10[(50, "AWC+4thRslv")]
+        db_cycle, db_maxcck, _ = TABLE10[(50, "DB")]
+        awc = CostLine("AWC+4thRslv", awc_cycle, awc_maxcck)
+        db = CostLine("DB", db_cycle, db_maxcck)
+        delay = crossover_delay(awc, db)
+        assert delay == pytest.approx(48.63, abs=0.01)
+        assert abs(delay - FIGURE2_CROSSOVERS[("d3s1", 50)]) < 5
+
+    def test_parallel_lines_have_no_crossover(self):
+        a = CostLine("a", 10.0, 100.0)
+        b = CostLine("b", 10.0, 200.0)
+        assert crossover_delay(a, b) is None
+
+    def test_negative_crossover_rejected(self):
+        # The cheaper-everywhere line never crosses at a meaningful delay.
+        a = CostLine("a", 10.0, 100.0)
+        b = CostLine("b", 20.0, 200.0)
+        assert crossover_delay(a, b) is None
+
+    def test_crossover_point_equalizes_totals(self):
+        a = CostLine("a", 130.8, 38892.5)
+        b = CostLine("b", 690.1, 11691.1)
+        delay = crossover_delay(a, b)
+        assert a.total_time(delay) == pytest.approx(b.total_time(delay))
+
+
+class TestSeries:
+    def test_points_evaluate_all_lines(self):
+        lines = [CostLine("a", 1.0, 0.0), CostLine("b", 2.0, 5.0)]
+        points = figure_series(lines, [0, 10])
+        assert points[0].totals == (("a", 0.0), ("b", 5.0))
+        assert points[1].totals == (("a", 10.0), ("b", 25.0))
+
+    def test_format_contains_crossover(self):
+        a = CostLine("AWC", 130.8, 38892.5)
+        b = CostLine("DB", 690.1, 11691.1)
+        text = format_figure([a, b], [0, 50, 100])
+        assert "crossover AWC / DB" in text
+        assert "48.6" in text

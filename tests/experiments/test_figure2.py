@@ -1,0 +1,35 @@
+"""The Figure 2 runner."""
+
+from repro.experiments.figure2 import default_delays, run_figure2
+from repro.experiments.paper import QUICK_SCALE
+
+
+class TestDefaultDelays:
+    def test_covers_the_crossover(self):
+        delays = default_delays(40.0)
+        assert delays[0] == 0
+        assert max(delays) >= 100.0  # 2.5 × 40
+
+    def test_without_crossover(self):
+        delays = default_delays(None)
+        assert delays[-1] == 100.0
+
+
+class TestRunFigure2:
+    def test_produces_both_lines_and_text(self):
+        result = run_figure2(scale=QUICK_SCALE, seed=0)
+        assert result.awc.label == "AWC+4thRslv"
+        assert result.db.label == "DB"
+        assert result.awc.cycle > 0
+        assert result.db.cycle > 0
+        assert "Figure 2" in result.text
+        assert "delay" in result.text
+
+    def test_db_spends_more_cycles(self):
+        # The structural claim behind the figure: DB's line is steeper.
+        result = run_figure2(scale=QUICK_SCALE, seed=0)
+        assert result.db.cycle > result.awc.cycle
+
+    def test_explicit_delays_respected(self):
+        result = run_figure2(scale=QUICK_SCALE, seed=0, delays=[0, 5, 10])
+        assert result.delays == (0, 5, 10)

@@ -1,0 +1,80 @@
+"""JSON persistence of trial and cell results."""
+
+import json
+
+import pytest
+
+from repro.algorithms.registry import awc
+from repro.core.exceptions import ModelError
+from repro.experiments.persistence import (
+    FORMAT_VERSION,
+    cell_result_from_dict,
+    cell_result_to_dict,
+    load_cell,
+    load_cells,
+    run_result_from_dict,
+    run_result_to_dict,
+    save_cell,
+    save_cells,
+)
+from repro.experiments.runner import run_cell
+from repro.problems.coloring import random_coloring_instance
+
+
+@pytest.fixture(scope="module")
+def cell():
+    instances = [random_coloring_instance(10, seed=s).to_discsp() for s in (0, 1)]
+    return run_cell(instances, awc("Rslv"), 2, master_seed=0, n=10)
+
+
+class TestRoundTrip:
+    def test_trial_round_trip(self, cell):
+        trial = cell.trials[0]
+        again = run_result_from_dict(run_result_to_dict(trial))
+        assert again == trial
+
+    def test_cell_round_trip_preserves_aggregates(self, cell):
+        again = cell_result_from_dict(cell_result_to_dict(cell))
+        assert again.label == cell.label
+        assert again.n == cell.n
+        assert again.num_trials == cell.num_trials
+        assert again.mean_cycle == cell.mean_cycle
+        assert again.mean_maxcck == cell.mean_maxcck
+        assert again.percent_solved == cell.percent_solved
+
+    def test_assignment_keys_restored_as_ints(self, cell):
+        again = cell_result_from_dict(cell_result_to_dict(cell))
+        for trial in again.trials:
+            assert all(isinstance(k, int) for k in trial.assignment)
+
+    def test_file_round_trip(self, cell, tmp_path):
+        path = tmp_path / "cell.json"
+        save_cell(cell, path)
+        assert load_cell(path).mean_cycle == cell.mean_cycle
+
+    def test_multi_cell_file(self, cell, tmp_path):
+        path = tmp_path / "table.json"
+        save_cells([cell, cell], path)
+        loaded = load_cells(path)
+        assert len(loaded) == 2
+        assert loaded[1].label == cell.label
+
+
+class TestValidation:
+    def test_unknown_version_rejected(self, cell):
+        data = cell_result_to_dict(cell)
+        data["format_version"] = 99
+        with pytest.raises(ModelError):
+            cell_result_from_dict(data)
+
+    def test_missing_field_rejected(self, cell):
+        data = run_result_to_dict(cell.trials[0])
+        del data["cycles"]
+        with pytest.raises(ModelError):
+            run_result_from_dict(data)
+
+    def test_files_are_plain_json(self, cell, tmp_path):
+        path = tmp_path / "cell.json"
+        save_cell(cell, path)
+        parsed = json.loads(path.read_text())
+        assert parsed["format_version"] == FORMAT_VERSION

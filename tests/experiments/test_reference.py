@@ -1,0 +1,101 @@
+"""Internal consistency of the transcribed paper numbers.
+
+The paper repeats several cells across tables (the Rslv rows of Tables 1–3
+reappear in Tables 5–7; the chosen kthRslv rows of Tables 5–7 reappear in
+Tables 8–10). If our transcription is faithful, those repetitions must
+match exactly — a typo-detector for the reference data the whole
+comparison rests on.
+"""
+
+import math
+
+from repro.experiments.reference import (
+    ALL_TABLES,
+    FIGURE2_CROSSOVERS,
+    TABLE1,
+    TABLE2,
+    TABLE3,
+    TABLE4,
+    TABLE5,
+    TABLE6,
+    TABLE7,
+    TABLE8,
+    TABLE9,
+    TABLE10,
+)
+
+
+class TestCrossTableConsistency:
+    def test_rslv_rows_shared_between_learning_and_bounded_tables(self):
+        for learning_table, bounded_table in (
+            (TABLE1, TABLE5),
+            (TABLE2, TABLE6),
+            (TABLE3, TABLE7),
+        ):
+            for (n, label), values in learning_table.items():
+                if label == "AWC+Rslv":
+                    assert bounded_table[(n, label)] == values
+
+    def test_chosen_bounds_shared_with_db_comparison_tables(self):
+        # Table 8 reuses Table 5's 3rdRslv rows, Table 9 Table 6's 5thRslv,
+        # Table 10 Table 7's 4thRslv.
+        for bounded_table, db_table, label in (
+            (TABLE5, TABLE8, "AWC+3rdRslv"),
+            (TABLE6, TABLE9, "AWC+5thRslv"),
+            (TABLE7, TABLE10, "AWC+4thRslv"),
+        ):
+            for (n, row_label), values in db_table.items():
+                if row_label == label:
+                    assert bounded_table[(n, label)] == values
+
+
+class TestShapeOfTheReference:
+    def test_all_percentages_in_range(self):
+        for table in ALL_TABLES.values():
+            for _key, (_cycle, _maxcck, percent) in table.items():
+                assert 0 <= percent <= 100
+
+    def test_nan_only_in_the_known_blank_cell(self):
+        blanks = [
+            (number, key)
+            for number, table in ALL_TABLES.items()
+            for key, (cycle, maxcck, _percent) in table.items()
+            if math.isnan(cycle) or math.isnan(maxcck)
+        ]
+        assert blanks == [(3, (200, "AWC+No"))]
+
+    def test_headline_claims_hold_in_the_reference(self):
+        """Our shape checks must at least hold on the paper's own numbers."""
+        for table in (TABLE1, TABLE2, TABLE3):
+            for (n, label), (cycle, maxcck, _p) in table.items():
+                if label != "AWC+Rslv":
+                    continue
+                mcs = table[(n, "AWC+Mcs")]
+                assert mcs[1] > maxcck  # Mcs costs more checks
+                no = table[(n, "AWC+No")]
+                if not math.isnan(no[0]):
+                    assert no[0] > cycle  # No learning costs more cycles
+        for table, awc_label in (
+            (TABLE8, "AWC+3rdRslv"),
+            (TABLE9, "AWC+5thRslv"),
+            (TABLE10, "AWC+4thRslv"),
+        ):
+            ns = {n for n, _label in table}
+            for n in ns:
+                awc_row = table[(n, awc_label)]
+                db_row = table[(n, "DB")]
+                assert awc_row[0] < db_row[0]  # AWC fewer cycles
+                assert db_row[1] < awc_row[1]  # DB fewer checks
+
+    def test_table4_norec_always_worse(self):
+        families = {key[0] for key in TABLE4}
+        assert families == {"d3c", "d3s", "d3s1"}
+        for (family, n, label), value in TABLE4.items():
+            if label == "AWC+Rslv/rec":
+                norec = TABLE4[(family, n, "AWC+Rslv/norec")]
+                assert norec > value
+
+    def test_figure2_crossovers_recorded(self):
+        assert FIGURE2_CROSSOVERS[("d3s1", 50)] == 50.0
+        assert FIGURE2_CROSSOVERS[("d3s", 150)] == 210.0
+        assert FIGURE2_CROSSOVERS[("d3c", 150)] == 370.0

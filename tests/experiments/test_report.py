@@ -1,0 +1,88 @@
+"""The Markdown reproduction report."""
+
+import pytest
+
+from repro.experiments.paper import QUICK_SCALE
+from repro.experiments.report import (
+    ReportResult,
+    ShapeCheck,
+    generate_report,
+)
+
+
+class TestShapeCheck:
+    def test_markdown_marks(self):
+        assert ShapeCheck("yes", True).as_markdown().startswith("- ✅")
+        assert ShapeCheck("no", False).as_markdown().startswith("- ❌")
+
+
+class TestReportResult:
+    def test_tally(self):
+        result = ReportResult(
+            text="",
+            checks=[ShapeCheck("a", True), ShapeCheck("b", False)],
+        )
+        assert result.passed == 1
+        assert result.total == 2
+
+
+class TestGenerateReport:
+    @pytest.fixture(scope="class")
+    def report(self, tmp_path_factory):
+        import os
+
+        cache = tmp_path_factory.mktemp("cache")
+        old = os.environ.get("REPRO_CACHE_DIR")
+        os.environ["REPRO_CACHE_DIR"] = str(cache)
+        try:
+            yield generate_report(scale=QUICK_SCALE, seed=0)
+        finally:
+            if old is None:
+                os.environ.pop("REPRO_CACHE_DIR", None)
+            else:
+                os.environ["REPRO_CACHE_DIR"] = old
+
+    def test_mentions_every_table_and_figure(self, report):
+        for number in (1, 2, 3, 4, 5, 6, 7, 8, 9, 10):
+            assert f"## Table {number}" in report.text
+        assert "## Figure 2" in report.text
+
+    def test_contains_paper_reference_blocks(self, report):
+        assert "Paper reported" in report.text
+        assert "58084.4" in report.text  # a Table 1 paper value
+
+    def test_contains_shape_checks(self, report):
+        assert "Shape checks:" in report.text
+        assert report.total > 20
+        assert all(isinstance(check, ShapeCheck) for check in report.checks)
+
+    def test_header_records_scale_and_seed(self, report):
+        assert "scale: **quick**" in report.text
+        assert "master seed: 0" in report.text
+
+    def test_markdown_tables_well_formed(self, report):
+        lines = report.text.splitlines()
+        for index, line in enumerate(lines):
+            if line.startswith("|") and set(line) <= {"|", "-", " "}:
+                header = lines[index - 1]
+                assert header.count("|") == line.count("|")
+
+    def test_extensions_off_by_default(self, report):
+        assert "## Extensions" not in report.text
+
+
+class TestExtensionsSection:
+    def test_extensions_included_on_request(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        report = generate_report(
+            scale=QUICK_SCALE, seed=0, include_extensions=True
+        )
+        assert "## Extensions" in report.text
+        assert "Size-bound sweep" in report.text
+        assert "Network models" in report.text
+        assert "Empirical best bound" in report.text
+        # The delay-growth checks are part of the tally.
+        assert any(
+            "cycles grow with fixed delay" in check.description
+            for check in report.checks
+        )

@@ -1,0 +1,68 @@
+"""Parameter sweeps."""
+
+import pytest
+
+from repro.algorithms.registry import db
+from repro.experiments.paper import QUICK_SCALE
+from repro.experiments.sweep import (
+    DEFAULT_BOUNDS,
+    best_bound,
+    sweep_problem_size,
+    sweep_size_bound,
+)
+from repro.experiments.tables import Table, TableRow
+
+
+class TestSizeBoundSweep:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return sweep_size_bound("d3c", scale=QUICK_SCALE, seed=0)
+
+    def test_one_row_per_bound_plus_unrestricted(self, table):
+        labels = [row.label for row in table.rows]
+        assert labels[0] == "AWC+Rslv"
+        assert len(labels) == 1 + len(DEFAULT_BOUNDS)
+        for k in DEFAULT_BOUNDS:
+            assert any(str(k) in label for label in labels[1:])
+
+    def test_best_bound_minimizes_maxcck_among_complete(self, table):
+        best = best_bound(table)
+        best_row = next(row for row in table.rows if row.label == best)
+        for row in table.rows:
+            if row.percent == 100.0:
+                assert best_row.maxcck <= row.maxcck
+
+    def test_custom_bounds(self):
+        table = sweep_size_bound(
+            "d3s", scale=QUICK_SCALE, seed=0, bounds=(3,)
+        )
+        assert [row.label for row in table.rows] == [
+            "AWC+Rslv", "AWC+3rdRslv",
+        ]
+
+
+class TestBestBound:
+    def test_prefers_complete_rows(self):
+        table = Table(title="t")
+        table.add(TableRow(10, "cheap-incomplete", 500.0, 10.0, 50.0))
+        table.add(TableRow(10, "complete", 100.0, 900.0, 100.0))
+        assert best_bound(table) == "complete"
+
+    def test_falls_back_when_nothing_completes(self):
+        table = Table(title="t")
+        table.add(TableRow(10, "a", 500.0, 10.0, 50.0))
+        table.add(TableRow(10, "b", 500.0, 30.0, 40.0))
+        assert best_bound(table) == "a"
+
+
+class TestProblemSizeSweep:
+    def test_default_algorithm(self):
+        table = sweep_problem_size("d3c", scale=QUICK_SCALE, seed=0)
+        assert len(table.rows) == len(QUICK_SCALE.coloring)
+        assert all(row.label == "AWC+Rslv" for row in table.rows)
+
+    def test_custom_algorithm(self):
+        table = sweep_problem_size(
+            "d3c", algorithm=db(), scale=QUICK_SCALE, seed=0
+        )
+        assert all(row.label == "DB" for row in table.rows)

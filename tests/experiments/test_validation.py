@@ -1,0 +1,69 @@
+"""Empirical validation of the Figure 2 linear delay model."""
+
+import pytest
+
+from repro.algorithms.registry import db
+from repro.core.exceptions import ModelError
+from repro.experiments.paper import QUICK_SCALE
+from repro.experiments.validation import (
+    DelayPoint,
+    validate_delay_model,
+)
+
+
+class TestDelayPoint:
+    def test_ratio(self):
+        point = DelayPoint(delay=2, measured_cycles=30.0, predicted_cycles=20.0)
+        assert point.ratio == pytest.approx(1.5)
+
+    def test_zero_prediction_rejected(self):
+        point = DelayPoint(delay=2, measured_cycles=1.0, predicted_cycles=0.0)
+        with pytest.raises(ModelError):
+            point.ratio
+
+
+class TestValidation:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return validate_delay_model(
+            delays=(2, 4), scale=QUICK_SCALE, seed=0
+        )
+
+    def test_one_point_per_delay(self, result):
+        assert [point.delay for point in result.points] == [2, 4]
+
+    def test_predictions_scale_linearly(self, result):
+        doubled = result.points[0]
+        quadrupled = result.points[1]
+        assert doubled.predicted_cycles == pytest.approx(
+            result.baseline_cycles * 2
+        )
+        assert quadrupled.predicted_cycles == pytest.approx(
+            result.baseline_cycles * 4
+        )
+
+    def test_measured_cycles_grow_with_delay(self, result):
+        assert (
+            result.baseline_cycles
+            < result.points[0].measured_cycles
+            < result.points[1].measured_cycles
+        )
+
+    def test_model_is_roughly_linear(self, result):
+        # The honest claim: within a factor of ~2 on these small cells.
+        assert result.worst_ratio_error < 1.0
+
+    def test_format_text(self, result):
+        text = result.format_text()
+        assert "linear-model validation" in text
+        assert "ratio" in text
+
+    def test_alternate_algorithm(self):
+        result = validate_delay_model(
+            algorithm=db(), delays=(2,), scale=QUICK_SCALE, seed=0
+        )
+        assert result.algorithm == "DB"
+
+    def test_delay_one_rejected(self):
+        with pytest.raises(ModelError):
+            validate_delay_model(delays=(1, 2), scale=QUICK_SCALE)

@@ -1,0 +1,72 @@
+"""The learning-method base contract."""
+
+import pytest
+
+from repro.core.assignment import AgentView
+from repro.core.exceptions import ModelError
+from repro.core.nogood import Nogood
+from repro.core.store import NogoodStore
+from repro.core.variables import integer_domain
+from repro.learning.base import (
+    DeadendContext,
+    LearningMethod,
+    ensure_deadend_nogood,
+)
+
+
+def context_with_view(entries):
+    view = AgentView()
+    for variable, value in entries.items():
+        view.update(variable, value, 1)
+    return DeadendContext(
+        variable=0,
+        domain=integer_domain(2),
+        priority=0,
+        view=view,
+        store=NogoodStore(0),
+    )
+
+
+class TestEnsureDeadendNogood:
+    def test_accepts_view_consistent_nogood(self):
+        context = context_with_view({1: 5, 2: 7})
+        nogood = Nogood.of((1, 5), (2, 7))
+        assert ensure_deadend_nogood(context, nogood) is nogood
+
+    def test_rejects_own_variable(self):
+        context = context_with_view({1: 5})
+        with pytest.raises(ModelError):
+            ensure_deadend_nogood(context, Nogood.of((0, 0), (1, 5)))
+
+    def test_rejects_view_disagreement(self):
+        context = context_with_view({1: 5})
+        with pytest.raises(ModelError):
+            ensure_deadend_nogood(context, Nogood.of((1, 6)))
+
+    def test_rejects_unknown_variable(self):
+        context = context_with_view({1: 5})
+        with pytest.raises(ModelError):
+            ensure_deadend_nogood(context, Nogood.of((9, 0)))
+
+    def test_empty_nogood_accepted(self):
+        # The empty nogood is the insolubility proof; it must pass through.
+        context = context_with_view({})
+        empty = Nogood([])
+        assert ensure_deadend_nogood(context, empty) is empty
+
+
+class TestLearningMethodDefaults:
+    def test_default_records_everything(self):
+        class Trivial(LearningMethod):
+            name = "trivial"
+
+            def make_nogood(self, context):
+                return None
+
+        method = Trivial()
+        assert method.should_record(Nogood.of((1, 0))) is True
+        assert "trivial" in repr(method)
+
+    def test_abstract_without_make_nogood(self):
+        with pytest.raises(TypeError):
+            LearningMethod()  # type: ignore[abstract]

@@ -1,0 +1,147 @@
+"""Resolvent-based learning, anchored on the paper's Figure 1 example."""
+
+import pytest
+
+from repro.core.assignment import AgentView
+from repro.core.exceptions import ModelError
+from repro.core.nogood import Nogood
+from repro.core.store import CheckCounter, NogoodStore
+from repro.core.variables import integer_domain
+from repro.learning.base import DeadendContext
+from repro.learning.resolvent import (
+    ResolventLearning,
+    resolvent_nogood,
+    select_nogood_for_value,
+    stable_nogood_key,
+)
+
+# Colors of the paper's Figure 1 example.
+R, Y, G = 0, 1, 2
+
+
+def figure1_context():
+    """The exact deadend of the paper's Section 3.2 example.
+
+    Agent 5 holds x5 (priority 0) and sees x1=r, x2=y, x3=g, x4=r with
+    priorities 5, 1, 3, 2 respectively. Its nogoods are the twelve arc
+    nogoods toward x1..x4 plus the received nogood ((x3,g)(x4,r)(x5,y)).
+    """
+    counter = CheckCounter()
+    store = NogoodStore(own_variable=5, counter=counter)
+    for other in (1, 2, 3, 4):
+        for color in (R, Y, G):
+            store.add(Nogood.of((other, color), (5, color)))
+    store.add(Nogood.of((3, G), (4, R), (5, Y)))
+    view = AgentView()
+    view.update(1, R, 5)
+    view.update(2, Y, 1)
+    view.update(3, G, 3)
+    view.update(4, R, 2)
+    return DeadendContext(
+        variable=5,
+        domain=integer_domain(3),
+        priority=0,
+        view=view,
+        store=store,
+    )
+
+
+class TestFigure1Example:
+    def test_selected_nogood_for_red_prefers_highest_priority(self):
+        # Red violates ((x1,r)(x5,r)) and ((x4,r)(x5,r)), both of size 2,
+        # with priorities 5 and 2: the x1 nogood must win.
+        context = figure1_context()
+        violated = context.store.violated_higher(context.view, R, 0)
+        assert set(violated) == {
+            Nogood.of((1, R), (5, R)),
+            Nogood.of((4, R), (5, R)),
+        }
+        assert select_nogood_for_value(context, violated) == Nogood.of(
+            (1, R), (5, R)
+        )
+
+    def test_selected_nogood_for_yellow_prefers_smallest(self):
+        # Yellow violates ((x2,y)(x5,y)) and the received 3-ary nogood: the
+        # smaller one wins regardless of priority.
+        context = figure1_context()
+        violated = context.store.violated_higher(context.view, Y, 0)
+        assert set(violated) == {
+            Nogood.of((2, Y), (5, Y)),
+            Nogood.of((3, G), (4, R), (5, Y)),
+        }
+        assert select_nogood_for_value(context, violated) == Nogood.of(
+            (2, Y), (5, Y)
+        )
+
+    def test_selected_nogood_for_green_is_the_only_one(self):
+        context = figure1_context()
+        violated = context.store.violated_higher(context.view, G, 0)
+        assert violated == [Nogood.of((3, G), (5, G))]
+
+    def test_resolvent_matches_the_paper(self):
+        # "Agent 5 makes ((x1,r)(x2,y)(x3,g)) as a new nogood."
+        context = figure1_context()
+        assert resolvent_nogood(context) == Nogood.of((1, R), (2, Y), (3, G))
+
+    def test_resolvent_never_mentions_own_variable(self):
+        nogood = resolvent_nogood(figure1_context())
+        assert not nogood.mentions(5)
+
+    def test_resolvent_is_subset_of_view(self):
+        context = figure1_context()
+        nogood = resolvent_nogood(context)
+        for variable, value in nogood.pairs:
+            assert context.view.value_of(variable) == value
+
+    def test_construction_cost_is_counted(self):
+        context = figure1_context()
+        before = context.store.counter.total
+        resolvent_nogood(context)
+        assert context.store.counter.total > before
+
+
+class TestEdgeCases:
+    def test_not_a_deadend_raises(self):
+        context = figure1_context()
+        # Lower x1's committed color so green becomes consistent.
+        context.view.update(3, R, 3)
+        with pytest.raises(ModelError):
+            resolvent_nogood(context)
+
+    def test_unary_nogoods_resolve_to_empty(self):
+        # Every value prohibited by a unary nogood on the own variable:
+        # the resolvent is empty — proof of insolubility.
+        store = NogoodStore(own_variable=0)
+        store.add(Nogood.of((0, 0)))
+        store.add(Nogood.of((0, 1)))
+        context = DeadendContext(
+            variable=0,
+            domain=integer_domain(2),
+            priority=0,
+            view=AgentView(),
+            store=store,
+        )
+        assert len(resolvent_nogood(context)) == 0
+
+    def test_select_with_no_candidates_raises(self):
+        with pytest.raises(ModelError):
+            select_nogood_for_value(figure1_context(), [])
+
+    def test_method_interface(self):
+        method = ResolventLearning()
+        assert method.name == "Rslv"
+        assert method.should_record(Nogood.of((1, 0)))
+        nogood = method.make_nogood(figure1_context())
+        assert nogood == Nogood.of((1, R), (2, Y), (3, G))
+
+
+class TestStableKey:
+    def test_orders_deterministically(self):
+        a = Nogood.of((1, 0), (2, 1))
+        b = Nogood.of((1, 0), (3, 1))
+        assert stable_nogood_key(a) < stable_nogood_key(b)
+
+    def test_equal_nogoods_equal_keys(self):
+        assert stable_nogood_key(Nogood.of((2, 1), (1, 0))) == stable_nogood_key(
+            Nogood.of((1, 0), (2, 1))
+        )

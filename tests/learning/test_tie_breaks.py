@@ -1,0 +1,70 @@
+"""Ablation variants of the resolvent selection rule."""
+
+import pytest
+
+from repro.core.exceptions import ModelError
+from repro.core.nogood import Nogood
+from repro.learning.resolvent import (
+    TIE_BREAKS,
+    ResolventLearning,
+    select_nogood_for_value,
+)
+
+from .test_resolvent import G, R, Y, figure1_context
+
+
+class TestTieBreakPolicies:
+    def test_paper_rule_uses_priority_on_size_ties(self):
+        context = figure1_context()
+        violated = context.store.violated_higher(context.view, R, 0)
+        chosen = select_nogood_for_value(context, violated, "paper")
+        assert chosen == Nogood.of((1, R), (5, R))  # x1: priority 5
+
+    def test_size_only_ignores_priority(self):
+        context = figure1_context()
+        violated = context.store.violated_higher(context.view, R, 0)
+        chosen = select_nogood_for_value(context, violated, "size-only")
+        # Deterministic stable-key tie-break instead: x1 sorts before x4.
+        assert chosen in {
+            Nogood.of((1, R), (5, R)),
+            Nogood.of((4, R), (5, R)),
+        }
+
+    def test_largest_prefers_the_big_nogood(self):
+        context = figure1_context()
+        violated = context.store.violated_higher(context.view, Y, 0)
+        chosen = select_nogood_for_value(context, violated, "largest")
+        assert chosen == Nogood.of((3, G), (4, R), (5, Y))
+
+    def test_unknown_policy_rejected(self):
+        context = figure1_context()
+        violated = context.store.violated_higher(context.view, R, 0)
+        with pytest.raises(ModelError):
+            select_nogood_for_value(context, violated, "bogus")
+
+
+class TestResolventVariants:
+    def test_paper_variant_keeps_the_plain_name(self):
+        assert ResolventLearning().name == "Rslv"
+        assert ResolventLearning("paper").name == "Rslv"
+
+    @pytest.mark.parametrize("policy", [p for p in TIE_BREAKS if p != "paper"])
+    def test_variant_names(self, policy):
+        assert ResolventLearning(policy).name == f"Rslv[{policy}]"
+
+    def test_largest_builds_a_bigger_resolvent_on_figure1(self):
+        paper = ResolventLearning().make_nogood(figure1_context())
+        largest = ResolventLearning("largest").make_nogood(figure1_context())
+        assert len(largest) >= len(paper)
+        # On Figure 1 specifically, the anti-rule picks the 3-ary nogood for
+        # yellow, pulling x4 into the resolvent.
+        assert largest.mentions(4)
+
+    def test_invalid_policy_rejected(self):
+        with pytest.raises(ModelError):
+            ResolventLearning("huge")
+
+    def test_rec_alias_name_survives(self):
+        from repro.learning.recording import RecordingResolventLearning
+
+        assert RecordingResolventLearning().name == "Rslv/rec"

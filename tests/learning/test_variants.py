@@ -1,0 +1,104 @@
+"""No learning, size-bounded learning, recording policies, and the factory."""
+
+import pytest
+
+from repro.core.exceptions import ModelError
+from repro.core.nogood import Nogood
+from repro.learning import (
+    McsLearning,
+    NoLearning,
+    NonRecordingResolventLearning,
+    RecordingResolventLearning,
+    ResolventLearning,
+    SizeBoundedResolventLearning,
+    learning_method,
+)
+from repro.learning.size_bounded import ordinal
+
+from .test_resolvent import G, R, Y, figure1_context
+
+
+class TestNoLearning:
+    def test_makes_no_nogood(self):
+        assert NoLearning().make_nogood(figure1_context()) is None
+
+    def test_records_nothing(self):
+        assert not NoLearning().should_record(Nogood.of((1, 0)))
+
+    def test_name(self):
+        assert NoLearning().name == "No"
+
+
+class TestSizeBounded:
+    def test_generation_is_unrestricted(self):
+        # kthRslv still *generates* the full resolvent; only recording is
+        # bounded.
+        method = SizeBoundedResolventLearning(2)
+        assert method.make_nogood(figure1_context()) == Nogood.of(
+            (1, R), (2, Y), (3, G)
+        )
+
+    def test_recording_respects_the_bound(self):
+        method = SizeBoundedResolventLearning(2)
+        assert method.should_record(Nogood.of((1, 0), (2, 0)))
+        assert not method.should_record(Nogood.of((1, 0), (2, 0), (3, 0)))
+
+    def test_bound_is_inclusive(self):
+        method = SizeBoundedResolventLearning(3)
+        assert method.should_record(Nogood.of((1, 0), (2, 0), (3, 0)))
+
+    def test_names_follow_the_paper(self):
+        assert SizeBoundedResolventLearning(3).name == "3rdRslv"
+        assert SizeBoundedResolventLearning(4).name == "4thRslv"
+        assert SizeBoundedResolventLearning(5).name == "5thRslv"
+
+    def test_ordinals(self):
+        assert ordinal(1) == "1st"
+        assert ordinal(2) == "2nd"
+        assert ordinal(3) == "3rd"
+        assert ordinal(11) == "11th"
+
+    def test_rejects_nonpositive_bound(self):
+        with pytest.raises(ModelError):
+            SizeBoundedResolventLearning(0)
+
+
+class TestRecordingPolicies:
+    def test_norec_generates_but_never_records(self):
+        method = NonRecordingResolventLearning()
+        assert method.make_nogood(figure1_context()) == Nogood.of(
+            (1, R), (2, Y), (3, G)
+        )
+        assert not method.should_record(Nogood.of((1, 0)))
+
+    def test_rec_is_plain_resolvent_learning(self):
+        method = RecordingResolventLearning()
+        assert isinstance(method, ResolventLearning)
+        assert method.should_record(Nogood.of((1, 0)))
+        assert method.name == "Rslv/rec"
+
+
+class TestFactory:
+    @pytest.mark.parametrize(
+        "name, expected_type",
+        [
+            ("Rslv", ResolventLearning),
+            ("Mcs", McsLearning),
+            ("No", NoLearning),
+            ("Rslv/rec", RecordingResolventLearning),
+            ("Rslv/norec", NonRecordingResolventLearning),
+            ("3rdRslv", SizeBoundedResolventLearning),
+            ("5thRslv", SizeBoundedResolventLearning),
+        ],
+    )
+    def test_builds_each_label(self, name, expected_type):
+        method = learning_method(name)
+        assert isinstance(method, expected_type)
+        assert method.name == name or name.endswith("Rslv")
+
+    def test_size_bound_parsed(self):
+        assert learning_method("7thRslv").k == 7
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ModelError):
+            learning_method("Magic")

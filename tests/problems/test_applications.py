@@ -1,0 +1,100 @@
+"""Application builders: meeting scheduling and resource allocation."""
+
+import pytest
+
+from repro.algorithms.registry import awc
+from repro.core.exceptions import ModelError
+from repro.experiments.runner import run_trial
+from repro.problems.applications import meeting_scheduling, resource_allocation
+
+
+class TestMeetingScheduling:
+    def build(self):
+        return meeting_scheduling(
+            participants={
+                "standup": ["ana", "bo"],
+                "design": ["bo", "casey"],
+                "retro": ["ana", "casey"],
+            },
+            slots=["mon-9", "mon-10", "mon-11"],
+        )
+
+    def test_structure(self):
+        schedule = self.build()
+        assert len(schedule.problem.agents) == 3
+        # All three meetings pairwise share someone: 3 pairs * 3 slots.
+        assert len(schedule.problem.csp.nogoods) == 9
+
+    def test_no_constraint_without_shared_participant(self):
+        schedule = meeting_scheduling(
+            participants={"a": ["x"], "b": ["y"]},
+            slots=["s1"],
+        )
+        assert len(schedule.problem.csp.nogoods) == 0
+
+    def test_solved_by_awc(self):
+        schedule = self.build()
+        result = run_trial(schedule.problem, awc("Rslv"), seed=0)
+        assert result.solved
+        decoded = schedule.decode(result.assignment)
+        assert set(decoded) == {"standup", "design", "retro"}
+        assert len(set(decoded.values())) == 3  # all different slots
+
+    def test_meeting_of(self):
+        schedule = self.build()
+        assert schedule.meeting_of(schedule.meeting_ids["standup"]) == "standup"
+        with pytest.raises(ModelError):
+            schedule.meeting_of(99)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ModelError):
+            meeting_scheduling({}, ["s"])
+        with pytest.raises(ModelError):
+            meeting_scheduling({"m": ["p"]}, [])
+
+
+class TestResourceAllocation:
+    def build(self):
+        return resource_allocation(
+            capabilities={
+                "obs-north": ["sat1", "sat2"],
+                "obs-south": ["sat2", "sat3"],
+                "relay": ["sat1", "sat3"],
+            },
+            conflicts=[
+                ("obs-north", "obs-south"),
+                ("obs-south", "relay"),
+                ("obs-north", "relay"),
+            ],
+        )
+
+    def test_domains_reflect_capabilities(self):
+        allocation = self.build()
+        task = allocation.task_ids["obs-north"]
+        domain_values = allocation.problem.csp.domain_of(task).values
+        names = {allocation.resource_names[v] for v in domain_values}
+        assert names == {"sat1", "sat2"}
+
+    def test_solved_by_awc(self):
+        allocation = self.build()
+        result = run_trial(allocation.problem, awc("Rslv"), seed=1)
+        assert result.solved
+        decoded = allocation.decode(result.assignment)
+        assert decoded["obs-north"] != decoded["obs-south"]
+        assert decoded["obs-south"] != decoded["relay"]
+        assert decoded["obs-north"] != decoded["relay"]
+
+    def test_unknown_conflict_task_rejected(self):
+        with pytest.raises(ModelError):
+            resource_allocation(
+                capabilities={"a": ["r"]},
+                conflicts=[("a", "ghost")],
+            )
+
+    def test_task_without_resources_rejected(self):
+        with pytest.raises(ModelError):
+            resource_allocation(capabilities={"a": []}, conflicts=[])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ModelError):
+            resource_allocation(capabilities={}, conflicts=[])

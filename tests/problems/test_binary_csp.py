@@ -1,0 +1,98 @@
+"""Random binary CSPs and n-queens."""
+
+import pytest
+
+from repro.algorithms.registry import abt, awc, db
+from repro.core.exceptions import GenerationError, ModelError
+from repro.experiments.runner import run_trial
+from repro.problems.binary_csp import (
+    is_nqueens_solution,
+    nqueens_csp,
+    nqueens_discsp,
+    random_binary_csp,
+)
+from repro.solvers.backtracking import brute_force_solutions, solve_csp
+
+
+class TestRandomBinaryCsp:
+    def test_planted_instance_is_solvable(self):
+        for seed in range(5):
+            instance = random_binary_csp(8, 3, 0.4, 0.3, seed=seed)
+            assert instance.planted is not None
+            assert instance.csp.is_solution(instance.planted)
+
+    def test_pair_and_tuple_counts(self):
+        instance = random_binary_csp(10, 3, 0.5, 0.3, seed=0)
+        total_pairs = 10 * 9 // 2
+        assert len(instance.constrained_pairs) == round(0.5 * total_pairs)
+        # 0.3 * 9 values = 2.7 → 3 forbidden tuples per constrained pair.
+        assert len(instance.csp.nogoods) == len(instance.constrained_pairs) * 3
+
+    def test_unplanted_instances_allowed_to_be_unsolvable(self):
+        # Full tightness without planting: every value pair forbidden.
+        instance = random_binary_csp(
+            4, 2, 1.0, 1.0, seed=0, planted=False
+        )
+        assert solve_csp(instance.csp) is None
+
+    def test_planted_rejects_impossible_tightness(self):
+        with pytest.raises(GenerationError):
+            random_binary_csp(4, 2, 1.0, 1.0, seed=0, planted=True)
+
+    def test_deterministic_per_seed(self):
+        a = random_binary_csp(8, 3, 0.4, 0.3, seed=5)
+        b = random_binary_csp(8, 3, 0.4, 0.3, seed=5)
+        assert a.csp.nogoods == b.csp.nogoods
+        assert a.planted == b.planted
+
+    def test_parameter_validation(self):
+        with pytest.raises(ModelError):
+            random_binary_csp(1, 3, 0.5, 0.5)
+        with pytest.raises(ModelError):
+            random_binary_csp(5, 0, 0.5, 0.5)
+        with pytest.raises(ModelError):
+            random_binary_csp(5, 3, 1.5, 0.5)
+        with pytest.raises(ModelError):
+            random_binary_csp(5, 3, 0.5, -0.1)
+
+    def test_solved_by_awc(self):
+        instance = random_binary_csp(10, 3, 0.35, 0.25, seed=3)
+        problem = instance.to_discsp()
+        result = run_trial(problem, awc("Rslv"), seed=0, max_cycles=5000)
+        assert result.solved
+        assert problem.is_solution(result.assignment)
+
+
+class TestNQueens:
+    def test_known_counts(self):
+        # Classic solution counts: 4-queens has 2, 5-queens has 10.
+        assert len(brute_force_solutions(nqueens_csp(4))) == 2
+        assert len(brute_force_solutions(nqueens_csp(5))) == 10
+
+    def test_three_queens_unsolvable(self):
+        assert solve_csp(nqueens_csp(3)) is None
+
+    def test_oracle_agrees_with_nogoods(self):
+        csp = nqueens_csp(5)
+        for solution in brute_force_solutions(csp):
+            assert is_nqueens_solution(5, solution)
+        assert not is_nqueens_solution(5, {r: 0 for r in range(5)})
+
+    @pytest.mark.parametrize(
+        "spec_factory", [lambda: awc("Rslv"), lambda: db(), lambda: abt()],
+        ids=["AWC+Rslv", "DB", "ABT"],
+    )
+    def test_solved_distributed(self, spec_factory):
+        problem = nqueens_discsp(6)
+        result = run_trial(problem, spec_factory(), seed=2, max_cycles=8000)
+        assert result.solved
+        assert is_nqueens_solution(6, result.assignment)
+
+    def test_unsolvable_detected_by_awc(self):
+        problem = nqueens_discsp(3)
+        result = run_trial(problem, awc("Rslv"), seed=0, max_cycles=8000)
+        assert result.unsolvable
+
+    def test_size_validation(self):
+        with pytest.raises(ModelError):
+            nqueens_csp(0)

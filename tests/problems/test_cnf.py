@@ -1,0 +1,115 @@
+"""CNF formulas and DIMACS I/O."""
+
+import pytest
+
+from repro.core.exceptions import ModelError
+from repro.problems.sat.cnf import CnfFormula
+from repro.problems.sat.dimacs import (
+    format_dimacs,
+    parse_dimacs,
+    read_dimacs,
+    write_dimacs,
+)
+
+
+class TestCnfFormula:
+    def test_normalizes_clauses(self):
+        formula = CnfFormula(3, [[3, -1, 3]])
+        assert formula.clauses == ((-1, 3),)
+
+    def test_drops_tautologies(self):
+        formula = CnfFormula(2, [[1, -1], [2]])
+        assert formula.clauses == ((2,),)
+
+    def test_rejects_out_of_range_literal(self):
+        with pytest.raises(ModelError):
+            CnfFormula(2, [[3]])
+
+    def test_rejects_nonpositive_num_vars(self):
+        with pytest.raises(ModelError):
+            CnfFormula(0, [])
+
+    def test_ratio(self):
+        assert CnfFormula(10, [[1]] * 43).ratio == pytest.approx(4.3)
+
+    def test_satisfaction(self):
+        formula = CnfFormula(2, [[1, -2]])
+        assert formula.satisfied_by({1: True, 2: True})
+        assert formula.satisfied_by({1: False, 2: False})
+        assert not formula.satisfied_by({1: False, 2: True})
+
+    def test_violated_clauses(self):
+        formula = CnfFormula(2, [[1], [2]])
+        assert formula.violated_clauses({1: True, 2: False}) == [(2,)]
+
+    def test_incomplete_model_rejected(self):
+        # Literal evaluation is lazy left-to-right, so leave the *first*
+        # literal's variable unassigned to force the error deterministically.
+        formula = CnfFormula(2, [[1, 2]])
+        with pytest.raises(ModelError):
+            formula.satisfied_by({2: True})
+
+    def test_variables_used(self):
+        formula = CnfFormula(5, [[1, -3]])
+        assert formula.variables_used() == {1, 3}
+
+    def test_with_clauses(self):
+        formula = CnfFormula(2, [[1]])
+        extended = formula.with_clauses([[2]])
+        assert extended.num_clauses == 2
+        assert formula.num_clauses == 1
+
+    def test_equality_ignores_clause_order(self):
+        assert CnfFormula(2, [[1], [2]]) == CnfFormula(2, [[2], [1]])
+
+
+class TestDimacs:
+    EXAMPLE = """c a comment
+p cnf 3 2
+1 -2 0
+2 3 0
+"""
+
+    def test_parse(self):
+        formula = parse_dimacs(self.EXAMPLE)
+        assert formula.num_vars == 3
+        assert formula.clauses == ((1, -2), (2, 3))
+
+    def test_round_trip(self):
+        formula = parse_dimacs(self.EXAMPLE)
+        again = parse_dimacs(format_dimacs(formula, comment="round trip"))
+        assert again == formula
+
+    def test_clause_spanning_lines(self):
+        text = "p cnf 3 1\n1\n-2 3 0\n"
+        assert parse_dimacs(text).clauses == ((1, -2, 3),)
+
+    def test_percent_terminator(self):
+        text = "p cnf 2 1\n1 2 0\n%\n0\n"
+        assert parse_dimacs(text).num_clauses == 1
+
+    def test_missing_final_zero_tolerated(self):
+        text = "p cnf 2 1\n1 2"
+        assert parse_dimacs(text).clauses == ((1, 2),)
+
+    def test_clause_count_mismatch_rejected(self):
+        with pytest.raises(ModelError):
+            parse_dimacs("p cnf 2 2\n1 0\n")
+
+    def test_missing_header_rejected(self):
+        with pytest.raises(ModelError):
+            parse_dimacs("1 2 0\n")
+
+    def test_clauses_before_header_rejected(self):
+        with pytest.raises(ModelError):
+            parse_dimacs("1 0\np cnf 2 1\n")
+
+    def test_duplicate_header_rejected(self):
+        with pytest.raises(ModelError):
+            parse_dimacs("p cnf 2 1\np cnf 2 1\n1 0\n")
+
+    def test_file_round_trip(self, tmp_path):
+        formula = parse_dimacs(self.EXAMPLE)
+        path = tmp_path / "f.cnf"
+        write_dimacs(formula, path, comment="hello\nworld")
+        assert read_dimacs(path) == formula

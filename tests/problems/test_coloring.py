@@ -1,0 +1,78 @@
+"""Coloring instances and their CSP/DisCSP encodings."""
+
+import pytest
+
+from repro.core.exceptions import GenerationError
+from repro.problems.coloring import (
+    PAPER_DENSITY,
+    coloring_csp,
+    coloring_discsp,
+    coloring_nogoods,
+    random_coloring_instance,
+)
+from repro.problems.graphs import Graph
+from repro.solvers.backtracking import solve_csp
+
+from ..conftest import triangle_graph
+
+
+class TestNogoods:
+    def test_one_nogood_per_edge_per_color(self):
+        nogoods = coloring_nogoods(triangle_graph(), 3)
+        assert len(nogoods) == 3 * 3
+
+    def test_nogood_shape_matches_figure1(self):
+        # The paper's arc nogoods: ((x_u, c)(x_v, c)).
+        nogoods = coloring_nogoods(Graph(2, [(0, 1)]), 2)
+        pairs = {tuple(sorted(nogood.pairs)) for nogood in nogoods}
+        assert pairs == {((0, 0), (1, 0)), ((0, 1), (1, 1))}
+
+
+class TestEncodings:
+    def test_csp_solution_is_proper_coloring(self):
+        graph = triangle_graph()
+        csp = coloring_csp(graph, 3)
+        solution = solve_csp(csp)
+        assert graph.is_proper_coloring(solution)
+
+    def test_discsp_one_agent_per_node(self):
+        problem = coloring_discsp(triangle_graph(), 3)
+        assert problem.agents == (0, 1, 2)
+        assert problem.is_one_variable_per_agent()
+
+    def test_discsp_neighbors_match_graph(self):
+        graph = Graph(4, [(0, 1), (1, 2)])
+        problem = coloring_discsp(graph, 3)
+        assert problem.neighbors_of(1) == frozenset({0, 2})
+        assert problem.neighbors_of(3) == frozenset()
+
+
+class TestRandomInstance:
+    def test_paper_parameters(self):
+        instance = random_coloring_instance(30, seed=0)
+        assert instance.num_colors == 3
+        assert instance.graph.num_edges == round(PAPER_DENSITY * 30)
+
+    def test_planted_solution_solves_the_instance(self):
+        instance = random_coloring_instance(30, seed=1)
+        assert instance.to_csp().is_solution(instance.planted)
+        assert instance.to_discsp().is_solution(instance.planted)
+
+    def test_explicit_edge_count(self):
+        instance = random_coloring_instance(20, seed=0, num_edges=30)
+        assert instance.graph.num_edges == 30
+
+    def test_deterministic_per_seed(self):
+        a = random_coloring_instance(20, seed=9)
+        b = random_coloring_instance(20, seed=9)
+        assert a.graph.edges == b.graph.edges
+        assert a.planted == b.planted
+
+    def test_distinct_across_seeds(self):
+        a = random_coloring_instance(20, seed=1)
+        b = random_coloring_instance(20, seed=2)
+        assert a.graph.edges != b.graph.edges
+
+    def test_infeasible_density_raises(self):
+        with pytest.raises(GenerationError):
+            random_coloring_instance(4, density=10.0, seed=0)

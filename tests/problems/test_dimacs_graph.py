@@ -1,0 +1,53 @@
+"""DIMACS graph format I/O."""
+
+import pytest
+
+from repro.core.exceptions import ModelError
+from repro.problems.graphs import (
+    Graph,
+    format_dimacs_graph,
+    parse_dimacs_graph,
+)
+
+
+class TestFormat:
+    def test_header_and_edges(self):
+        graph = Graph(3, [(0, 1), (1, 2)])
+        text = format_dimacs_graph(graph, comment="demo")
+        lines = text.splitlines()
+        assert lines[0] == "c demo"
+        assert lines[1] == "p edge 3 2"
+        assert "e 1 2" in lines
+        assert "e 2 3" in lines
+
+    def test_one_based_nodes(self):
+        graph = Graph(2, [(0, 1)])
+        assert "e 1 2" in format_dimacs_graph(graph)
+
+
+class TestParse:
+    def test_round_trip(self):
+        graph = Graph(5, [(0, 4), (1, 2), (2, 3)])
+        again = parse_dimacs_graph(format_dimacs_graph(graph))
+        assert again.num_nodes == graph.num_nodes
+        assert again.edges == graph.edges
+
+    def test_col_header_accepted(self):
+        graph = parse_dimacs_graph("p col 2 1\ne 1 2\n")
+        assert graph.has_edge(0, 1)
+
+    def test_comments_ignored(self):
+        graph = parse_dimacs_graph("c hello\np edge 2 1\nc mid\ne 1 2\n")
+        assert graph.num_edges == 1
+
+    def test_missing_header_rejected(self):
+        with pytest.raises(ModelError):
+            parse_dimacs_graph("e 1 2\n")
+
+    def test_malformed_edge_rejected(self):
+        with pytest.raises(ModelError):
+            parse_dimacs_graph("p edge 2 1\ne 1\n")
+
+    def test_malformed_header_rejected(self):
+        with pytest.raises(ModelError):
+            parse_dimacs_graph("p graph 2 1\ne 1 2\n")

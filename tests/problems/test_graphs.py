@@ -1,0 +1,85 @@
+"""Graphs and the planted-coloring generator."""
+
+import random
+
+import pytest
+
+from repro.core.exceptions import GenerationError, ModelError
+from repro.problems.graphs import Graph, planted_coloring_graph
+
+
+class TestGraph:
+    def test_add_edge_normalizes_direction(self):
+        graph = Graph(3)
+        assert graph.add_edge(2, 0)
+        assert graph.has_edge(0, 2)
+        assert graph.has_edge(2, 0)
+        assert graph.edges == [(0, 2)]
+
+    def test_duplicate_edge_reports_false(self):
+        graph = Graph(3)
+        graph.add_edge(0, 1)
+        assert graph.add_edge(1, 0) is False
+        assert graph.num_edges == 1
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ModelError):
+            Graph(3).add_edge(1, 1)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ModelError):
+            Graph(3).add_edge(0, 3)
+
+    def test_neighbors_and_degree(self):
+        graph = Graph(4, [(0, 1), (0, 2)])
+        assert graph.neighbors(0) == frozenset({1, 2})
+        assert graph.degree(0) == 2
+        assert graph.degree(3) == 0
+
+    def test_proper_coloring_check(self):
+        graph = Graph(3, [(0, 1), (1, 2)])
+        assert graph.is_proper_coloring({0: 0, 1: 1, 2: 0})
+        assert not graph.is_proper_coloring({0: 0, 1: 0, 2: 1})
+        assert not graph.is_proper_coloring({0: 0, 1: 1})  # incomplete
+
+    def test_connected_components(self):
+        graph = Graph(5, [(0, 1), (2, 3)])
+        components = {frozenset(c) for c in graph.connected_components()}
+        assert components == {
+            frozenset({0, 1}),
+            frozenset({2, 3}),
+            frozenset({4}),
+        }
+
+
+class TestPlantedColoringGraph:
+    def test_planted_partition_is_a_proper_coloring(self):
+        rng = random.Random(0)
+        graph, planted = planted_coloring_graph(30, 81, 3, rng)
+        assert graph.num_edges == 81
+        assert graph.is_proper_coloring(planted)
+
+    def test_paper_density(self):
+        rng = random.Random(1)
+        n = 60
+        graph, planted = planted_coloring_graph(n, round(2.7 * n), 3, rng)
+        assert graph.num_edges == 162
+        assert graph.is_proper_coloring(planted)
+
+    def test_deterministic_for_seed(self):
+        first, _p1 = planted_coloring_graph(20, 40, 3, random.Random(7))
+        second, _p2 = planted_coloring_graph(20, 40, 3, random.Random(7))
+        assert first.edges == second.edges
+
+    def test_infeasible_edge_count_rejected(self):
+        with pytest.raises(GenerationError):
+            planted_coloring_graph(4, 100, 3, random.Random(0))
+
+    def test_needs_two_colors(self):
+        with pytest.raises(GenerationError):
+            planted_coloring_graph(4, 2, 1, random.Random(0))
+
+    def test_two_coloring(self):
+        graph, planted = planted_coloring_graph(10, 15, 2, random.Random(3))
+        assert graph.is_proper_coloring(planted)
+        assert set(planted.values()) <= {0, 1}

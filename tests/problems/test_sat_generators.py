@@ -1,0 +1,82 @@
+"""The 3SAT-GEN- and 3ONESAT-GEN-style generators."""
+
+import pytest
+
+from repro.core.exceptions import GenerationError
+from repro.problems.sat.generators import (
+    PAPER_3SAT_RATIO,
+    planted_3sat,
+    unique_solution_3sat,
+)
+from repro.solvers.dpll import DpllSolver
+
+
+class TestPlanted3Sat:
+    def test_paper_ratio(self):
+        instance = planted_3sat(20, seed=0)
+        assert instance.formula.num_clauses == round(PAPER_3SAT_RATIO * 20)
+
+    def test_planted_model_satisfies(self):
+        for seed in range(5):
+            instance = planted_3sat(20, seed=seed)
+            assert instance.formula.satisfied_by(instance.planted)
+
+    def test_clauses_are_ternary_and_distinct(self):
+        instance = planted_3sat(20, seed=1)
+        clauses = instance.formula.clauses
+        assert all(len(clause) == 3 for clause in clauses)
+        assert len(set(clauses)) == len(clauses)
+
+    def test_every_variable_occurs(self):
+        instance = planted_3sat(30, seed=2)
+        assert instance.formula.variables_used() == set(range(1, 31))
+
+    def test_deterministic_per_seed(self):
+        assert planted_3sat(15, seed=3).formula == planted_3sat(15, seed=3).formula
+
+    def test_distinct_across_seeds(self):
+        assert planted_3sat(15, seed=3).formula != planted_3sat(15, seed=4).formula
+
+    def test_explicit_clause_count(self):
+        instance = planted_3sat(15, seed=0, num_clauses=40)
+        assert instance.formula.num_clauses == 40
+
+    def test_too_few_variables_rejected(self):
+        with pytest.raises(GenerationError):
+            planted_3sat(2, seed=0)
+
+    def test_coverage_infeasible_rejected(self):
+        with pytest.raises(GenerationError):
+            planted_3sat(30, seed=0, num_clauses=5)
+
+
+class TestUniqueSolution3Sat:
+    def test_exactly_one_model(self):
+        for seed in range(3):
+            instance = unique_solution_3sat(12, seed=seed)
+            count = DpllSolver(
+                12, instance.formula.clauses
+            ).count_models(limit=3)
+            assert count == 1
+
+    def test_the_model_is_the_planted_one(self):
+        instance = unique_solution_3sat(12, seed=1)
+        model = DpllSolver(12, instance.formula.clauses).solve()
+        assert model == instance.planted
+
+    def test_internal_verification_passes(self):
+        unique_solution_3sat(10, seed=5, verify=True)
+
+    def test_clauses_are_ternary(self):
+        instance = unique_solution_3sat(12, seed=0)
+        assert all(len(c) == 3 for c in instance.formula.clauses)
+
+    def test_reaches_at_least_the_target_ratio(self):
+        instance = unique_solution_3sat(12, seed=0, ratio=3.4)
+        assert instance.formula.num_clauses >= round(3.4 * 12)
+
+    def test_deterministic_per_seed(self):
+        a = unique_solution_3sat(10, seed=2)
+        b = unique_solution_3sat(10, seed=2)
+        assert a.formula == b.formula
+        assert a.planted == b.planted

@@ -1,0 +1,62 @@
+"""SAT → DisCSP encoding."""
+
+from repro.problems.sat.cnf import CnfFormula
+from repro.problems.sat.generators import planted_3sat
+from repro.problems.sat.to_discsp import (
+    assignment_to_model,
+    clause_to_nogood,
+    model_to_assignment,
+    sat_nogoods,
+    sat_to_csp,
+    sat_to_discsp,
+)
+from repro.core.nogood import Nogood
+from repro.solvers.backtracking import solve_csp
+from repro.solvers.dpll import DpllSolver
+
+
+class TestClauseEncoding:
+    def test_nogood_is_the_falsifying_assignment(self):
+        # (x1 ∨ ¬x2 ∨ x3) is false exactly when x1=0, x2=1, x3=0.
+        assert clause_to_nogood((1, -2, 3)) == Nogood.of((1, 0), (2, 1), (3, 0))
+
+    def test_unit_clause(self):
+        assert clause_to_nogood((-4,)) == Nogood.of((4, 1))
+
+    def test_one_nogood_per_clause(self):
+        formula = CnfFormula(3, [[1, 2], [-1, 3]])
+        assert len(sat_nogoods(formula)) == 2
+
+
+class TestSemanticEquivalence:
+    def test_models_and_solutions_coincide(self):
+        formula = CnfFormula(3, [[1, 2, -3], [-1, 3], [2, 3]])
+        csp = sat_to_csp(formula)
+        solver = DpllSolver(3, formula.clauses)
+        # Every CSP solution is a SAT model and vice versa (spot check both
+        # directions on the full 2^3 space).
+        import itertools
+
+        for bits in itertools.product([0, 1], repeat=3):
+            assignment = {v: bits[v - 1] for v in (1, 2, 3)}
+            model = assignment_to_model(assignment)
+            assert csp.is_solution(assignment) == formula.satisfied_by(model)
+
+    def test_generated_instance_round_trip(self):
+        instance = planted_3sat(15, seed=0)
+        csp = sat_to_csp(instance.formula)
+        assert csp.is_solution(model_to_assignment(instance.planted))
+        solution = solve_csp(csp)
+        assert instance.formula.satisfied_by(assignment_to_model(solution))
+
+    def test_discsp_structure(self):
+        instance = planted_3sat(15, seed=0)
+        problem = sat_to_discsp(instance.formula)
+        assert problem.agents == tuple(range(1, 16))
+        assert problem.is_one_variable_per_agent()
+
+
+class TestConverters:
+    def test_round_trip(self):
+        model = {1: True, 2: False}
+        assert assignment_to_model(model_to_assignment(model)) == model

@@ -1,0 +1,89 @@
+"""Property-based invariants of the distributed breakout."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.algorithms.breakout import BreakoutAgent
+from repro.problems.coloring import coloring_discsp
+from repro.problems.graphs import Graph
+from repro.runtime.messages import ImproveMessage, OkRoundMessage
+from repro.runtime.random_source import derive_rng
+
+
+@st.composite
+def star_scenarios(draw):
+    """Agent 0 at the center of a star, neighbors with random colors."""
+    num_neighbors = draw(st.integers(1, 4))
+    graph = Graph(
+        num_neighbors + 1, [(0, i + 1) for i in range(num_neighbors)]
+    )
+    problem = coloring_discsp(graph, 3)
+    agent = BreakoutAgent(
+        0,
+        problem,
+        derive_rng(draw(st.integers(0, 1000)), "db-prop"),
+        initial_value=draw(st.integers(0, 2)),
+    )
+    agent.initialize()
+    colors = [draw(st.integers(0, 2)) for _ in range(num_neighbors)]
+    messages = [
+        OkRoundMessage(i + 1, i + 1, colors[i], 0)
+        for i in range(num_neighbors)
+    ]
+    return agent, colors, messages
+
+
+class TestEvaluation:
+    @given(star_scenarios())
+    @settings(max_examples=50)
+    def test_eval_equals_conflict_count_at_unit_weights(self, scenario):
+        agent, colors, messages = scenario
+        outgoing = agent.step(messages)
+        improves = {m for _r, m in outgoing if isinstance(m, ImproveMessage)}
+        # One improve announcement, copied to every neighbor.
+        assert len(improves) == 1
+        conflicts = sum(1 for color in colors if color == agent.value)
+        assert next(iter(improves)).eval == conflicts
+
+    @given(star_scenarios())
+    @settings(max_examples=50)
+    def test_improve_is_never_negative(self, scenario):
+        agent, _colors, messages = scenario
+        outgoing = agent.step(messages)
+        improve = next(
+            m for _r, m in outgoing if isinstance(m, ImproveMessage)
+        )
+        assert improve.improve >= 0
+        assert improve.improve <= improve.eval
+
+    @given(star_scenarios())
+    @settings(max_examples=50)
+    def test_best_value_realizes_the_improvement(self, scenario):
+        agent, colors, messages = scenario
+        outgoing = agent.step(messages)
+        improve = next(
+            m for _r, m in outgoing if isinstance(m, ImproveMessage)
+        )
+        best_conflicts = sum(
+            1 for color in colors if color == agent._best_value
+        )
+        assert improve.eval - improve.improve == best_conflicts
+
+
+class TestWeights:
+    @given(star_scenarios(), st.integers(0, 2))
+    @settings(max_examples=50)
+    def test_weights_only_grow(self, scenario, rounds_salt):
+        agent, _colors, messages = scenario
+        agent.step(messages)
+        before = dict(agent.weights)
+        # Everyone stuck: quasi-local-minimum → breakout (if violating).
+        agent.step(
+            [
+                ImproveMessage(sender, 1, 0, 0)
+                for sender in sorted(agent.recipients)
+            ]
+        )
+        for key, weight in before.items():
+            assert agent.weights.get(key, 1) >= weight
+        assert all(weight >= 1 for weight in agent.weights.values())

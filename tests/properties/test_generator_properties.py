@@ -1,0 +1,94 @@
+"""Property-based tests of the problem generators and solver substrate."""
+
+import random
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.problems.graphs import planted_coloring_graph
+from repro.problems.sat.dimacs import format_dimacs, parse_dimacs
+from repro.problems.sat.generators import planted_3sat, unique_solution_3sat
+from repro.problems.sat.cnf import CnfFormula
+from repro.solvers.dpll import DpllSolver
+
+
+class TestColoringGenerator:
+    @given(
+        st.integers(9, 25),
+        st.floats(0.5, 2.0),
+        st.integers(0, 10_000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_planted_partition_always_proper(self, n, density, seed):
+        rng = random.Random(seed)
+        m = round(density * n)
+        graph, planted = planted_coloring_graph(n, m, 3, rng)
+        assert graph.num_edges == m
+        assert graph.is_proper_coloring(planted)
+
+    @given(st.integers(6, 20), st.integers(0, 10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_edges_are_unique_and_in_range(self, n, seed):
+        rng = random.Random(seed)
+        graph, _planted = planted_coloring_graph(n, n, 3, rng)
+        edges = graph.edges
+        assert len(set(edges)) == len(edges)
+        for u, v in edges:
+            assert 0 <= u < v < n
+
+
+class TestSatGenerators:
+    @given(st.integers(5, 20), st.integers(0, 10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_planted_3sat_always_satisfied_by_plant(self, n, seed):
+        instance = planted_3sat(n, seed=seed)
+        assert instance.formula.satisfied_by(instance.planted)
+        assert instance.formula.variables_used() == set(range(1, n + 1))
+
+    @given(st.integers(5, 11), st.integers(0, 1_000))
+    @settings(max_examples=15, deadline=None)
+    def test_unique_solution_generator_is_certifiably_unique(self, n, seed):
+        instance = unique_solution_3sat(n, seed=seed)
+        solver = DpllSolver(n, instance.formula.clauses)
+        assert solver.count_models(limit=3) == 1
+        assert solver.solve() == instance.planted
+
+
+# Random CNF text round-trip.
+clauses_strategy = st.lists(
+    st.lists(
+        st.integers(-6, 6).filter(lambda lit: lit != 0),
+        min_size=1,
+        max_size=4,
+    ),
+    max_size=10,
+)
+
+
+class TestDimacsRoundTrip:
+    @given(clauses_strategy)
+    @settings(max_examples=60)
+    def test_format_parse_identity(self, raw_clauses):
+        formula = CnfFormula(6, raw_clauses)
+        again = parse_dimacs(format_dimacs(formula))
+        assert again == formula
+
+
+class TestDpllAgainstBruteForce:
+    @given(clauses_strategy, st.integers(0, 3))
+    @settings(max_examples=60, deadline=None)
+    def test_model_count_matches_enumeration(self, raw_clauses, _salt):
+        import itertools
+
+        formula = CnfFormula(6, raw_clauses)
+        exact = 0
+        for bits in itertools.product([False, True], repeat=6):
+            model = {v: bits[v - 1] for v in range(1, 7)}
+            if formula.satisfied_by(model):
+                exact += 1
+        solver = DpllSolver(6, formula.clauses)
+        assert solver.count_models(limit=64) == exact
+        found = solver.solve()
+        assert (found is not None) == (exact > 0)
+        if found is not None:
+            assert formula.satisfied_by(found)

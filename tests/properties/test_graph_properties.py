@@ -1,0 +1,56 @@
+"""Structural properties of the graph type."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.problems.graphs import Graph
+
+edge_lists = st.lists(
+    st.tuples(st.integers(0, 9), st.integers(0, 9)).filter(
+        lambda pair: pair[0] != pair[1]
+    ),
+    max_size=30,
+)
+
+
+class TestGraphProperties:
+    @given(edge_lists)
+    @settings(max_examples=60)
+    def test_adjacency_is_symmetric(self, edges):
+        graph = Graph(10, edges)
+        for u in range(10):
+            for v in graph.neighbors(u):
+                assert u in graph.neighbors(v)
+                assert graph.has_edge(u, v) and graph.has_edge(v, u)
+
+    @given(edge_lists)
+    @settings(max_examples=60)
+    def test_edge_count_matches_degree_sum(self, edges):
+        graph = Graph(10, edges)
+        assert sum(graph.degree(u) for u in range(10)) == 2 * graph.num_edges
+
+    @given(edge_lists)
+    @settings(max_examples=60)
+    def test_components_partition_the_nodes(self, edges):
+        graph = Graph(10, edges)
+        components = graph.connected_components()
+        nodes = [node for component in components for node in component]
+        assert sorted(nodes) == list(range(10))
+
+    @given(edge_lists)
+    @settings(max_examples=60)
+    def test_edges_never_cross_components(self, edges):
+        graph = Graph(10, edges)
+        component_of = {}
+        for index, component in enumerate(graph.connected_components()):
+            for node in component:
+                component_of[node] = index
+        for u, v in graph.edges:
+            assert component_of[u] == component_of[v]
+
+    @given(edge_lists)
+    @settings(max_examples=60)
+    def test_rebuild_from_edges_is_identity(self, edges):
+        graph = Graph(10, edges)
+        rebuilt = Graph(10, graph.edges)
+        assert rebuilt.edges == graph.edges

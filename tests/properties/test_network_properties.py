@@ -1,0 +1,84 @@
+"""Conservation properties of every network model.
+
+Whatever the delivery policy — synchronous, fixed delay, random delay with
+or without FIFO, lossy-with-retransmission — every sent message must be
+delivered exactly once, to the right recipient, in finite time. The
+algorithms' correctness proofs assume nothing more of the medium; these
+properties pin that contract for all implementations at once.
+"""
+
+import random
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.runtime.messages import OkMessage
+from repro.runtime.network import (
+    FixedDelayNetwork,
+    LossyNetwork,
+    RandomDelayNetwork,
+    SynchronousNetwork,
+)
+
+NETWORK_BUILDERS = [
+    lambda seed: SynchronousNetwork(),
+    lambda seed: FixedDelayNetwork(delay=3),
+    lambda seed: RandomDelayNetwork(
+        max_delay=4, rng=random.Random(seed), fifo=True
+    ),
+    lambda seed: RandomDelayNetwork(
+        max_delay=4, rng=random.Random(seed), fifo=False
+    ),
+    lambda seed: LossyNetwork(loss_rate=0.4, rng=random.Random(seed)),
+]
+
+#: (sender, recipient) pairs over 4 agents, sender != recipient.
+sends = st.lists(
+    st.tuples(st.integers(0, 3), st.integers(0, 3)).filter(
+        lambda pair: pair[0] != pair[1]
+    ),
+    max_size=40,
+)
+
+
+@st.composite
+def network_and_traffic(draw):
+    builder = draw(st.sampled_from(NETWORK_BUILDERS))
+    seed = draw(st.integers(0, 10_000))
+    traffic = draw(sends)
+    return builder(seed), traffic
+
+
+class TestConservation:
+    @given(network_and_traffic())
+    @settings(max_examples=80, deadline=None)
+    def test_every_message_delivered_exactly_once(self, scenario):
+        network, traffic = scenario
+        expected = {}
+        for index, (sender, recipient) in enumerate(traffic):
+            message = OkMessage(sender, sender, index, 0)
+            network.send(sender, recipient, message)
+            expected[index] = recipient
+        received = {}
+        for _round in range(500):
+            inbox = network.deliver()
+            for recipient, messages in inbox.items():
+                for message in messages:
+                    assert message.value not in received, "duplicate delivery"
+                    received[message.value] = recipient
+            if network.is_idle():
+                break
+        assert network.is_idle(), "messages still in flight after 500 cycles"
+        assert received == expected
+
+    @given(network_and_traffic())
+    @settings(max_examples=40, deadline=None)
+    def test_counters_are_consistent(self, scenario):
+        network, traffic = scenario
+        for index, (sender, recipient) in enumerate(traffic):
+            network.send(sender, recipient, OkMessage(sender, sender, index, 0))
+        assert network.sent_count == len(traffic)
+        while not network.is_idle():
+            network.deliver()
+        assert network.delivered_count == len(traffic)
+        assert network.pending() == 0

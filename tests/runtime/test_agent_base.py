@@ -1,0 +1,44 @@
+"""The SimulatedAgent base contract."""
+
+import pytest
+
+from repro.core.exceptions import UnsolvableError
+from repro.runtime.agent import SimulatedAgent
+
+
+class Minimal(SimulatedAgent):
+    def initialize(self):
+        return []
+
+    def step(self, messages):
+        return []
+
+    def local_assignment(self):
+        return {}
+
+
+class TestSimulatedAgent:
+    def test_abstract_methods_required(self):
+        with pytest.raises(TypeError):
+            SimulatedAgent(0)  # type: ignore[abstract]
+
+    def test_fresh_agent_state(self):
+        agent = Minimal(3)
+        assert agent.id == 3
+        assert agent.failure is None
+        assert agent.check_counter.total == 0
+
+    def test_fail_unsolvable_records_error(self):
+        agent = Minimal(7)
+        agent.fail_unsolvable("custom reason")
+        assert isinstance(agent.failure, UnsolvableError)
+        assert agent.failure.agent_id == 7
+        assert "custom reason" in str(agent.failure)
+
+    def test_fail_unsolvable_default_message(self):
+        agent = Minimal(9)
+        agent.fail_unsolvable()
+        assert "9" in str(agent.failure)
+
+    def test_repr_names_the_class(self):
+        assert repr(Minimal(1)) == "Minimal(id=1)"

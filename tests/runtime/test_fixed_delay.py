@@ -1,0 +1,77 @@
+"""The fixed-delay network: Figure 2's delay axis, made concrete."""
+
+import pytest
+
+from repro.algorithms.registry import awc
+from repro.core.exceptions import SimulationError
+from repro.experiments.runner import run_trial
+from repro.problems.coloring import random_coloring_instance
+from repro.runtime.messages import OkMessage
+from repro.runtime.network import FixedDelayNetwork
+
+
+def ok(sender, value=0):
+    return OkMessage(sender=sender, variable=sender, value=value)
+
+
+class TestDeliveryTiming:
+    def test_delay_one_is_synchronous(self):
+        net = FixedDelayNetwork(delay=1)
+        net.send(0, 1, ok(0))
+        assert net.deliver() == {1: [ok(0)]}
+
+    def test_delay_three_takes_three_cycles(self):
+        net = FixedDelayNetwork(delay=3)
+        net.send(0, 1, ok(0))
+        assert net.deliver() == {}
+        assert net.deliver() == {}
+        assert net.deliver() == {1: [ok(0)]}
+
+    def test_preserves_send_order(self):
+        net = FixedDelayNetwork(delay=2)
+        for i in range(10):
+            net.send(0, 1, ok(0, value=i))
+        net.deliver()
+        received = net.deliver()[1]
+        assert [m.value for m in received] == list(range(10))
+
+    def test_pending_and_idle(self):
+        net = FixedDelayNetwork(delay=2)
+        net.send(0, 1, ok(0))
+        assert net.pending() == 1
+        net.deliver()
+        assert not net.is_idle()
+        net.deliver()
+        assert net.is_idle()
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            FixedDelayNetwork(delay=0)
+        net = FixedDelayNetwork()
+        with pytest.raises(SimulationError):
+            net.send(1, 1, ok(1))
+
+
+class TestCycleScaling:
+    def test_awc_cycles_scale_roughly_with_delay(self):
+        """The empirical basis of Figure 2's linear model.
+
+        With every message taking d cycles, the same search trajectory
+        consumes about d times the cycles. Exact equality is not guaranteed
+        (agents act on whatever has arrived), but the growth must be
+        substantial and ordered.
+        """
+        problem = random_coloring_instance(15, seed=3).to_discsp()
+        cycles = {}
+        for delay in (1, 2, 4):
+            result = run_trial(
+                problem,
+                awc("Rslv"),
+                seed=5,
+                max_cycles=20000,
+                network_factory=lambda seed, d=delay: FixedDelayNetwork(d),
+            )
+            assert result.solved
+            cycles[delay] = result.cycles
+        assert cycles[1] < cycles[2] < cycles[4]
+        assert cycles[4] >= 2 * cycles[1]

@@ -1,0 +1,52 @@
+"""Message dataclasses: immutability and identity."""
+
+import dataclasses
+
+import pytest
+
+from repro.core.nogood import Nogood
+from repro.runtime.messages import (
+    ImproveMessage,
+    NogoodMessage,
+    OkMessage,
+    OkRoundMessage,
+    RequestValueMessage,
+)
+
+
+class TestImmutability:
+    @pytest.mark.parametrize(
+        "message",
+        [
+            OkMessage(0, 0, 1, 2),
+            NogoodMessage(0, Nogood.of((1, 0))),
+            RequestValueMessage(0, 3),
+            ImproveMessage(0, 2, 1, 4),
+            OkRoundMessage(0, 0, 1, 4),
+        ],
+    )
+    def test_frozen(self, message):
+        field = dataclasses.fields(message)[0].name
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            setattr(message, field, 99)
+
+
+class TestEquality:
+    def test_ok_equality_by_content(self):
+        assert OkMessage(0, 0, 1, 2) == OkMessage(0, 0, 1, 2)
+        assert OkMessage(0, 0, 1, 2) != OkMessage(0, 0, 1, 3)
+
+    def test_ok_priority_defaults_to_zero(self):
+        assert OkMessage(0, 0, 1) == OkMessage(0, 0, 1, 0)
+
+    def test_nogood_equality_uses_nogood_semantics(self):
+        first = NogoodMessage(0, Nogood.of((1, 0), (2, 1)))
+        second = NogoodMessage(0, Nogood.of((2, 1), (1, 0)))
+        assert first == second
+
+    def test_round_index_distinguishes_waves(self):
+        assert OkRoundMessage(0, 0, 1, 0) != OkRoundMessage(0, 0, 1, 1)
+        assert ImproveMessage(0, 1, 1, 0) != ImproveMessage(0, 1, 1, 1)
+
+    def test_messages_hashable(self):
+        assert len({OkMessage(0, 0, 1), OkMessage(0, 0, 1)}) == 1

@@ -1,0 +1,85 @@
+"""Metrics: maxcck accounting and redundant-generation tracking."""
+
+from repro.core.nogood import Nogood
+from repro.core.store import CheckCounter
+from repro.runtime.metrics import MetricsCollector
+
+
+class TestCycleAccounting:
+    def test_maxcck_sums_per_cycle_maxima(self):
+        metrics = MetricsCollector()
+        a, b = CheckCounter(), CheckCounter()
+        metrics.attach(0, a)
+        metrics.attach(1, b)
+        # Cycle 1: a does 5 checks, b does 3 → max 5.
+        a.bump(5)
+        b.bump(3)
+        assert metrics.end_cycle() == 5
+        # Cycle 2: a does 1, b does 7 → max 7.
+        a.bump(1)
+        b.bump(7)
+        assert metrics.end_cycle() == 7
+        assert metrics.maxcck == 12
+        assert metrics.total_checks == 16
+        assert metrics.cycles == 2
+
+    def test_idle_cycle_contributes_zero(self):
+        metrics = MetricsCollector()
+        metrics.attach(0, CheckCounter())
+        metrics.end_cycle()
+        assert metrics.maxcck == 0
+        assert metrics.cycles == 1
+
+    def test_history_kept_on_request(self):
+        metrics = MetricsCollector(keep_history=True)
+        counter = CheckCounter()
+        metrics.attach(0, counter)
+        counter.bump(4)
+        metrics.end_cycle()
+        counter.bump(2)
+        metrics.end_cycle()
+        assert metrics.max_history == [4, 2]
+        assert metrics.total_history == [4, 2]
+
+    def test_history_off_by_default(self):
+        metrics = MetricsCollector()
+        metrics.attach(0, CheckCounter())
+        metrics.end_cycle()
+        assert metrics.max_history == []
+
+    def test_counters_attached_mid_run_do_not_backdate(self):
+        metrics = MetricsCollector()
+        counter = CheckCounter()
+        counter.bump(100)  # pre-existing checks
+        metrics.attach(0, counter)
+        counter.bump(1)
+        metrics.end_cycle()
+        assert metrics.maxcck == 1
+
+
+class TestGenerationAccounting:
+    def test_first_generation_is_not_redundant(self):
+        metrics = MetricsCollector()
+        assert metrics.record_generation(0, Nogood.of((1, 0))) is False
+        assert metrics.generated_count == 1
+        assert metrics.redundant_generations == 0
+
+    def test_repeat_generation_is_redundant(self):
+        metrics = MetricsCollector()
+        nogood = Nogood.of((1, 0), (2, 1))
+        metrics.record_generation(0, nogood)
+        assert metrics.record_generation(3, nogood) is True
+        assert metrics.redundant_generations == 1
+        assert metrics.generated_count == 2
+
+    def test_redundancy_is_global_across_agents(self):
+        # Table 4 counts a regeneration by *any* agent as redundant.
+        metrics = MetricsCollector()
+        metrics.record_generation(0, Nogood.of((1, 0)))
+        assert metrics.record_generation(1, Nogood.of((1, 0))) is True
+
+    def test_content_equality_not_identity(self):
+        metrics = MetricsCollector()
+        metrics.record_generation(0, Nogood.of((1, 0), (2, 1)))
+        same_content = Nogood.of((2, 1), (1, 0))
+        assert metrics.record_generation(0, same_content) is True

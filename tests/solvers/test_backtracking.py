@@ -1,0 +1,85 @@
+"""The centralized backtracking oracle."""
+
+import pytest
+
+from repro.core import CSP, Nogood, integer_domain
+from repro.core.exceptions import SolverError
+from repro.problems.coloring import coloring_csp, random_coloring_instance
+from repro.solvers.backtracking import (
+    BacktrackingSolver,
+    brute_force_solutions,
+    count_csp_solutions,
+    solve_csp,
+)
+
+from ..conftest import clique_graph, triangle_graph
+
+
+class TestSolve:
+    def test_triangle_three_colors(self):
+        csp = coloring_csp(triangle_graph(), 3)
+        solution = solve_csp(csp)
+        assert solution is not None
+        assert csp.is_solution(solution)
+
+    def test_triangle_two_colors_unsolvable(self):
+        assert solve_csp(coloring_csp(triangle_graph(), 2)) is None
+
+    def test_k4_three_colors_unsolvable(self):
+        assert solve_csp(coloring_csp(clique_graph(4), 3)) is None
+
+    def test_empty_nogood_means_unsolvable(self):
+        csp = CSP({0: integer_domain(2)}, [Nogood([])])
+        assert solve_csp(csp) is None
+
+    def test_planted_instances_are_solvable(self):
+        for seed in range(5):
+            instance = random_coloring_instance(12, seed=seed)
+            assert solve_csp(instance.to_csp()) is not None
+
+
+class TestCounting:
+    def test_triangle_has_six_colorings(self):
+        assert (
+            count_csp_solutions(coloring_csp(triangle_graph(), 3), limit=100)
+            == 6
+        )
+
+    def test_limit_respected(self):
+        assert (
+            count_csp_solutions(coloring_csp(triangle_graph(), 3), limit=2)
+            == 2
+        )
+
+    def test_agrees_with_brute_force(self):
+        for seed in range(5):
+            instance = random_coloring_instance(7, density=2.0, seed=seed)
+            csp = instance.to_csp()
+            exact = len(brute_force_solutions(csp))
+            assert count_csp_solutions(csp, limit=10**6) == exact
+
+
+class TestSolutionsIterator:
+    def test_yields_distinct_valid_solutions(self):
+        csp = coloring_csp(triangle_graph(), 3)
+        solutions = list(BacktrackingSolver(csp).solutions(limit=4))
+        assert len(solutions) == 4
+        assert len({tuple(sorted(s.items())) for s in solutions}) == 4
+        for solution in solutions:
+            assert csp.is_solution(solution)
+
+    def test_node_budget(self):
+        csp = coloring_csp(clique_graph(6), 5)
+        solver = BacktrackingSolver(csp, max_nodes=3)
+        with pytest.raises(SolverError):
+            list(solver.solutions())
+
+
+class TestBruteForce:
+    def test_guards_against_explosion(self):
+        csp = CSP(
+            {v: integer_domain(10) for v in range(10)},
+            [],
+        )
+        with pytest.raises(SolverError):
+            brute_force_solutions(csp)

@@ -1,0 +1,161 @@
+"""The CDCL solver, cross-checked against DPLL and known-hard formulas."""
+
+import random
+
+import pytest
+
+from repro.core.exceptions import SolverError
+from repro.solvers.cdcl import CdclSolver, luby
+from repro.solvers.dpll import DpllSolver
+
+
+def pigeonhole(holes: int):
+    """PHP(holes+1, holes): unsatisfiable, classically hard for resolution.
+
+    Variables p(i, j) = pigeon i sits in hole j, numbered 1-based.
+    """
+    pigeons = holes + 1
+
+    def var(i, j):
+        return i * holes + j + 1
+
+    clauses = []
+    for i in range(pigeons):
+        clauses.append([var(i, j) for j in range(holes)])
+    for j in range(holes):
+        for i1 in range(pigeons):
+            for i2 in range(i1 + 1, pigeons):
+                clauses.append([-var(i1, j), -var(i2, j)])
+    return pigeons * holes, clauses
+
+
+class TestLuby:
+    def test_prefix(self):
+        assert [luby(i) for i in range(1, 16)] == [
+            1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8,
+        ]
+
+    def test_invalid_index(self):
+        with pytest.raises(SolverError):
+            luby(0)
+
+
+class TestBasics:
+    def test_trivial_sat(self):
+        assert CdclSolver(2, [[1], [2]]).solve() == {1: True, 2: True}
+
+    def test_unit_chain(self):
+        model = CdclSolver(3, [[1], [-1, 2], [-2, 3]]).solve()
+        assert model == {1: True, 2: True, 3: True}
+
+    def test_trivial_unsat(self):
+        assert CdclSolver(1, [[1], [-1]]).solve() is None
+
+    def test_empty_clause_unsat(self):
+        assert CdclSolver(1, [[]]).solve() is None
+
+    def test_model_satisfies(self):
+        clauses = [[1, 2, -3], [-1, 3], [2, 3], [-2, -3, 1]]
+        model = CdclSolver(3, clauses).solve()
+        assert model is not None
+        for clause in clauses:
+            assert any((lit > 0) == model[abs(lit)] for lit in clause)
+
+    def test_assumptions(self):
+        solver = CdclSolver(2, [[1, 2]])
+        model = solver.solve(assumptions=[-1])
+        assert model[2] is True
+        assert solver.solve(assumptions=[-1, -2]) is None
+
+    def test_solver_reusable_across_calls(self):
+        solver = CdclSolver(2, [[1, 2]])
+        assert solver.solve(assumptions=[-1]) is not None
+        assert solver.solve(assumptions=[-2]) is not None
+        assert solver.solve() is not None
+
+    def test_out_of_range_literal(self):
+        with pytest.raises(SolverError):
+            CdclSolver(2, [[3]])
+
+    def test_tautology_dropped(self):
+        solver = CdclSolver(1)
+        assert solver.add_clause([1, -1]) is False
+        assert solver.solve() is not None
+
+
+class TestAgainstDpll:
+    def test_random_3sat_agreement(self):
+        rng = random.Random(7)
+        for _trial in range(60):
+            n = rng.randint(4, 9)
+            m = rng.randint(5, round(5.5 * n))
+            clauses = [
+                [
+                    rng.choice([1, -1]) * v
+                    for v in rng.sample(range(1, n + 1), 3)
+                ]
+                for _ in range(m)
+            ]
+            dpll = DpllSolver(n, clauses).solve()
+            cdcl = CdclSolver(n, clauses).solve()
+            assert (dpll is None) == (cdcl is None), clauses
+            if cdcl is not None:
+                assert all(
+                    any((lit > 0) == cdcl[abs(lit)] for lit in clause)
+                    for clause in clauses
+                )
+
+    def test_random_mixed_width_agreement(self):
+        rng = random.Random(11)
+        for _trial in range(40):
+            n = rng.randint(3, 8)
+            clauses = [
+                [
+                    rng.choice([1, -1]) * v
+                    for v in rng.sample(
+                        range(1, n + 1), rng.randint(1, min(3, n))
+                    )
+                ]
+                for _ in range(rng.randint(2, 4 * n))
+            ]
+            dpll = DpllSolver(n, clauses).is_satisfiable()
+            cdcl = CdclSolver(n, clauses).is_satisfiable()
+            assert dpll == cdcl, clauses
+
+
+class TestHardFormulas:
+    def test_pigeonhole_unsat(self):
+        num_vars, clauses = pigeonhole(5)
+        assert CdclSolver(num_vars, clauses).solve() is None
+
+    def test_pigeonhole_satisfiable_variant(self):
+        # Equal pigeons and holes: satisfiable.
+        holes = 4
+        def var(i, j):
+            return i * holes + j + 1
+        clauses = [[var(i, j) for j in range(holes)] for i in range(holes)]
+        for j in range(holes):
+            for i1 in range(holes):
+                for i2 in range(i1 + 1, holes):
+                    clauses.append([-var(i1, j), -var(i2, j)])
+        model = CdclSolver(holes * holes, clauses).solve()
+        assert model is not None
+
+    def test_conflict_budget(self):
+        num_vars, clauses = pigeonhole(7)
+        solver = CdclSolver(num_vars, clauses, max_conflicts=5)
+        with pytest.raises(SolverError):
+            solver.solve()
+
+    def test_unique_solution_instances(self):
+        from repro.problems.sat.generators import unique_solution_3sat
+        from repro.solvers.dpll import blocking_clause
+
+        for seed in range(3):
+            instance = unique_solution_3sat(15, seed=seed)
+            solver = CdclSolver(15, instance.formula.clauses)
+            model = solver.solve()
+            assert model == instance.planted
+            # Blocking the unique model makes it UNSAT.
+            solver.add_clause(blocking_clause(model))
+            assert solver.solve() is None

@@ -1,0 +1,39 @@
+"""Every example script must run to completion.
+
+Examples are documentation that executes; a broken one is worse than none.
+Each runs in a subprocess with a timeout, in a temp working directory so
+cache artifacts stay out of the repository.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.mark.parametrize(
+    "script", EXAMPLES, ids=[script.stem for script in EXAMPLES]
+)
+def test_example_runs(script, tmp_path):
+    result = subprocess.run(
+        [sys.executable, str(script)],
+        cwd=tmp_path,
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert result.returncode == 0, (
+        f"{script.name} failed:\n{result.stdout}\n{result.stderr}"
+    )
+    assert result.stdout.strip(), f"{script.name} printed nothing"
+
+
+def test_every_example_has_a_docstring_and_main():
+    for script in EXAMPLES:
+        text = script.read_text()
+        assert text.lstrip().startswith('"""'), script.name
+        assert 'if __name__ == "__main__":' in text, script.name

@@ -1,0 +1,96 @@
+"""Public-surface sanity: exports exist, exceptions form one hierarchy."""
+
+import importlib
+
+import pytest
+
+import repro
+from repro.core.exceptions import (
+    GenerationError,
+    ModelError,
+    ReproError,
+    SimulationError,
+    SolverError,
+    UnsolvableError,
+)
+
+PACKAGES = [
+    "repro",
+    "repro.core",
+    "repro.runtime",
+    "repro.learning",
+    "repro.algorithms",
+    "repro.problems",
+    "repro.problems.sat",
+    "repro.solvers",
+    "repro.experiments",
+    "repro.analysis",
+]
+
+
+class TestExports:
+    @pytest.mark.parametrize("package_name", PACKAGES)
+    def test_all_names_resolve(self, package_name):
+        module = importlib.import_module(package_name)
+        exported = getattr(module, "__all__", None)
+        assert exported, f"{package_name} has no __all__"
+        for name in exported:
+            assert hasattr(module, name), f"{package_name}.{name} missing"
+
+    @pytest.mark.parametrize("package_name", PACKAGES)
+    def test_all_is_sorted_and_unique(self, package_name):
+        module = importlib.import_module(package_name)
+        exported = list(module.__all__)
+        assert len(set(exported)) == len(exported)
+
+    def test_version(self):
+        assert repro.__version__.count(".") == 2
+
+    def test_star_import_is_clean(self):
+        namespace = {}
+        exec("from repro import *", namespace)
+        assert "awc" in namespace
+        assert "run_trial" in namespace
+
+
+class TestExceptionHierarchy:
+    @pytest.mark.parametrize(
+        "exception_type",
+        [
+            GenerationError,
+            ModelError,
+            SimulationError,
+            SolverError,
+            UnsolvableError,
+        ],
+    )
+    def test_single_root(self, exception_type):
+        assert issubclass(exception_type, ReproError)
+
+    def test_unsolvable_records_agent(self):
+        error = UnsolvableError(7)
+        assert error.agent_id == 7
+        assert "7" in str(error)
+
+    def test_unsolvable_custom_message(self):
+        assert str(UnsolvableError(1, "boom")) == "boom"
+
+
+class TestDocstrings:
+    @pytest.mark.parametrize("package_name", PACKAGES)
+    def test_every_package_documented(self, package_name):
+        module = importlib.import_module(package_name)
+        assert module.__doc__ and module.__doc__.strip()
+
+    def test_every_public_callable_documented(self):
+        import inspect
+
+        undocumented = []
+        for package_name in PACKAGES[1:]:
+            module = importlib.import_module(package_name)
+            for name in module.__all__:
+                obj = getattr(module, name)
+                if inspect.isclass(obj) or inspect.isfunction(obj):
+                    if not inspect.getdoc(obj):
+                        undocumented.append(f"{package_name}.{name}")
+        assert undocumented == []
