@@ -62,6 +62,7 @@ from .experiments import (
     Table,
     crossover_delay,
     run_cell,
+    run_cell_parallel,
     run_figure2,
     run_table,
     run_table4,
@@ -162,6 +163,7 @@ __all__ = [
     "read_dimacs",
     "resource_allocation",
     "run_cell",
+    "run_cell_parallel",
     "run_figure2",
     "run_table",
     "run_table4",

@@ -45,6 +45,17 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="omit the paper's values from the output",
     )
+    parser.add_argument(
+        "-j",
+        "--jobs",
+        type=int,
+        default=None,
+        help=(
+            "worker processes for trial execution (0 = all cores; "
+            "default: REPRO_JOBS or sequential). Results are identical "
+            "to a sequential run."
+        ),
+    )
 
 
 def _resolve_scale(name: Optional[str]):
@@ -55,8 +66,9 @@ def _resolve_scale(name: Optional[str]):
 
 def _print_table(number: int, args: argparse.Namespace) -> None:
     scale = _resolve_scale(args.scale)
+    jobs = getattr(args, "jobs", None)
     if number == 4:
-        for table in run_table4(scale=scale, seed=args.seed):
+        for table in run_table4(scale=scale, seed=args.seed, workers=jobs):
             print(table.format_text())
             print()
         if not args.no_reference:
@@ -66,7 +78,7 @@ def _print_table(number: int, args: argparse.Namespace) -> None:
             for (family, n, label), value in sorted(TABLE4.items()):
                 print(f"  {family:5s} n={n:<4d} {label:15s} {value:>10.1f}")
         return
-    table = run_table(number, scale=scale, seed=args.seed)
+    table = run_table(number, scale=scale, seed=args.seed, workers=jobs)
     reference = None if args.no_reference else reference_for_table(number)
     print(table.format_text(reference))
 

@@ -216,6 +216,16 @@ class DisCSP:
         except KeyError:
             raise ModelError(f"unknown agent {agent}") from None
 
+    def relevant_nogoods(self, variable: VariableId) -> Tuple[Nogood, ...]:
+        """The nogoods mentioning *variable*, in definition order.
+
+        The variable→constraint adjacency of the global CSP, exposed on the
+        distributed problem so observers (e.g. the incremental solution
+        detector) can re-evaluate only the constraints a value change can
+        affect.
+        """
+        return self._csp.relevant_nogoods(variable)
+
     def local_nogoods(self, agent: AgentId) -> Tuple[Nogood, ...]:
         """All nogoods relevant to *agent*: those mentioning its variables.
 

@@ -47,6 +47,30 @@ class CheckCounter:
         return f"CheckCounter(total={self.total})"
 
 
+class ReadOnlyBucket(List[Nogood]):
+    """A list whose public mutators are disabled.
+
+    :meth:`NogoodStore.for_value` hands out its internal per-value buckets
+    directly on the hot path (copying them would cost O(bucket) per
+    candidate-value scan). Making the buckets read-only guarantees a caller
+    cannot corrupt the store's index through the returned reference; the
+    store itself mutates buckets via ``list.append`` (the only sanctioned
+    escape hatch). Iteration and indexing remain plain C-speed list
+    operations.
+    """
+
+    __slots__ = ()
+
+    def _refuse(self, *args, **kwargs):
+        raise TypeError(
+            "NogoodStore buckets are read-only; add nogoods via "
+            "NogoodStore.add()"
+        )
+
+    append = extend = insert = remove = pop = clear = _refuse
+    sort = reverse = __setitem__ = __delitem__ = __iadd__ = __imul__ = _refuse
+
+
 class NogoodStore:
     """All nogoods relevant to one agent, indexed by the owner's value.
 
@@ -74,7 +98,7 @@ class NogoodStore:
     ) -> None:
         self.own_variable = own_variable
         self.counter = counter if counter is not None else CheckCounter()
-        self._by_value: Dict[Value, List[Nogood]] = {}
+        self._by_value: Dict[Value, ReadOnlyBucket] = {}
         self._unconditional: List[Nogood] = []
         self._all: Set[Nogood] = set()
         # Priority keys depend only on the view's priorities, which change
@@ -92,7 +116,8 @@ class NogoodStore:
         self._all.add(nogood)
         own_value = nogood.value_of(self.own_variable)
         if nogood.mentions(self.own_variable):
-            self._by_value.setdefault(own_value, []).append(nogood)
+            bucket = self._by_value.setdefault(own_value, ReadOnlyBucket())
+            list.append(bucket, nogood)
         else:
             self._unconditional.append(nogood)
         return True
@@ -111,14 +136,15 @@ class NogoodStore:
         """The nogoods that could be violated when the owner takes *value*.
 
         This is the bucket binding the owner to *value* plus the
-        unconditional bucket. The returned list is freshly built only when
-        unconditional nogoods exist; the common path returns the bucket
-        itself (callers must not mutate it).
+        unconditional bucket. The common path returns the internal bucket
+        itself — a :class:`ReadOnlyBucket`, so attempted mutation raises
+        instead of corrupting the index; a fresh list is built only when
+        unconditional nogoods exist.
         """
         bucket = self._by_value.get(value, _EMPTY)
         if not self._unconditional:
             return bucket
-        return bucket + self._unconditional
+        return list(bucket) + self._unconditional
 
     # -- evaluation (cost-counted) ----------------------------------------
 
@@ -238,7 +264,7 @@ class NogoodStore:
         )
 
 
-_EMPTY: List[Nogood] = []
+_EMPTY: ReadOnlyBucket = ReadOnlyBucket()
 
 
 class LinearNogoodStore(NogoodStore):

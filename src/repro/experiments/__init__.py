@@ -49,12 +49,14 @@ from .validation import (
     ValidationResult,
     validate_delay_model,
 )
+from .parallel import resolve_workers, run_cell_parallel
 from .runner import (
     CellResult,
     random_initial_assignment,
     run_cell,
     run_trial,
     synchronous_network_factory,
+    trial_parameters,
 )
 from .tables import Table, TableRow
 
@@ -94,7 +96,9 @@ __all__ = [
     "load_cells",
     "onesat_instances",
     "random_initial_assignment",
+    "resolve_workers",
     "run_cell",
+    "run_cell_parallel",
     "run_figure2",
     "run_table",
     "ReportResult",
@@ -108,4 +112,5 @@ __all__ = [
     "scale_by_name",
     "scale_from_environment",
     "synchronous_network_factory",
+    "trial_parameters",
 ]

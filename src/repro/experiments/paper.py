@@ -252,8 +252,14 @@ def run_table_cell(
     algorithm: AlgorithmSpec,
     seed: Seed,
     max_cycles: int,
+    workers: Optional[int] = None,
 ) -> CellResult:
-    """One (family, n, algorithm) cell at the given trial counts."""
+    """One (family, n, algorithm) cell at the given trial counts.
+
+    ``workers`` selects the trial-execution parallelism (default: the
+    ``REPRO_JOBS`` environment variable, else sequential); results are
+    identical either way.
+    """
     instances = instances_for(family, n, num_instances, seed)
     return run_cell(
         instances,
@@ -262,11 +268,15 @@ def run_table_cell(
         master_seed=derive_seed(seed, family, n, algorithm.name),
         n=n,
         max_cycles=max_cycles,
+        workers=workers,
     )
 
 
 def run_table(
-    number: int, scale: Optional[Scale] = None, seed: Seed = 0
+    number: int,
+    scale: Optional[Scale] = None,
+    seed: Seed = 0,
+    workers: Optional[int] = None,
 ) -> Table:
     """Reproduce one of Tables 1–3 / 5–10."""
     if number == 4:
@@ -291,13 +301,16 @@ def run_table(
                 algorithm_by_name(label),
                 seed,
                 scale.max_cycles,
+                workers=workers,
             )
             table.add(TableRow.from_cell(cell))
     return table
 
 
 def run_table4(
-    scale: Optional[Scale] = None, seed: Seed = 0
+    scale: Optional[Scale] = None,
+    seed: Seed = 0,
+    workers: Optional[int] = None,
 ) -> List[Table]:
     """Reproduce Table 4: redundant nogood generations, rec vs norec.
 
@@ -324,6 +337,7 @@ def run_table4(
                     algorithm_by_name(label),
                     seed,
                     scale.max_cycles,
+                    workers=workers,
                 )
                 table.add(
                     TableRow.from_cell(

@@ -40,6 +40,7 @@ def run_result_to_dict(result: RunResult) -> Dict:
             for variable, value in result.assignment.items()
         },
         "wall_time": result.wall_time,
+        "sim_time": result.sim_time,
         "max_history": list(result.max_history),
     }
 
@@ -63,6 +64,7 @@ def run_result_from_dict(data: Dict) -> RunResult:
                 for variable, value in data.get("assignment", {}).items()
             },
             wall_time=data.get("wall_time", 0.0),
+            sim_time=data.get("sim_time", data.get("wall_time", 0.0)),
             max_history=list(data.get("max_history", [])),
         )
     except KeyError as missing:

@@ -11,7 +11,7 @@ the percentage of trials finished within the cap — capped trials contribute
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..algorithms.registry import AlgorithmSpec
 from ..core.problem import DisCSP
@@ -119,6 +119,28 @@ def _mean(values: Sequence[float]) -> float:
     return sum(values) / len(values)
 
 
+#: One trial's coordinates within a cell: (instance index, init index, seed).
+TrialParams = Tuple[int, int, int]
+
+
+def trial_parameters(
+    num_instances: int, inits_per_instance: int, master_seed: Seed
+) -> Iterator[TrialParams]:
+    """The cell's trials in canonical order, with their derived seeds.
+
+    This is the single source of trial seeds: the sequential and parallel
+    cell runners both iterate it, so their per-trial seeds — and therefore
+    their results — are identical by construction.
+    """
+    for instance_index in range(num_instances):
+        for init_index in range(inits_per_instance):
+            yield (
+                instance_index,
+                init_index,
+                derive_seed(master_seed, "trial", instance_index, init_index),
+            )
+
+
 def run_cell(
     instances: Sequence[DisCSP],
     algorithm: AlgorithmSpec,
@@ -127,25 +149,41 @@ def run_cell(
     n: int,
     max_cycles: int = DEFAULT_MAX_CYCLES,
     network_factory: NetworkFactory = synchronous_network_factory,
+    workers: Optional[int] = None,
 ) -> CellResult:
     """One cell: every instance × every initial-value set.
 
     The trial seeds are derived from ``(master_seed, instance index, init
     index)`` so cells are reproducible and instances are independent.
+
+    With ``workers`` above 1 (or ``REPRO_JOBS`` set) the trials are farmed
+    out to a process pool via :mod:`repro.experiments.parallel`; results are
+    identical to the sequential path apart from timing fields.
     """
+    from .parallel import resolve_workers, run_cell_parallel
+
+    if resolve_workers(workers) > 1:
+        return run_cell_parallel(
+            instances,
+            algorithm,
+            inits_per_instance=inits_per_instance,
+            master_seed=master_seed,
+            n=n,
+            max_cycles=max_cycles,
+            network_factory=network_factory,
+            workers=workers,
+        )
     cell = CellResult(label=algorithm.name, n=n)
-    for instance_index, problem in enumerate(instances):
-        for init_index in range(inits_per_instance):
-            trial_seed = derive_seed(
-                master_seed, "trial", instance_index, init_index
+    for instance_index, _init_index, trial_seed in trial_parameters(
+        len(instances), inits_per_instance, master_seed
+    ):
+        cell.trials.append(
+            run_trial(
+                instances[instance_index],
+                algorithm,
+                trial_seed,
+                max_cycles=max_cycles,
+                network_factory=network_factory,
             )
-            cell.trials.append(
-                run_trial(
-                    problem,
-                    algorithm,
-                    trial_seed,
-                    max_cycles=max_cycles,
-                    network_factory=network_factory,
-                )
-            )
+        )
     return cell

@@ -27,6 +27,7 @@ from .random_source import derive_rng, derive_seed
 from .simulator import DEFAULT_MAX_CYCLES, RunResult, SynchronousSimulator
 from .termination import (
     GlobalSolutionDetector,
+    IncrementalSolutionDetector,
     QuiescentSolutionDetector,
     collect_assignment,
 )
@@ -36,6 +37,7 @@ __all__ = [
     "DEFAULT_MAX_CYCLES",
     "FixedDelayNetwork",
     "GlobalSolutionDetector",
+    "IncrementalSolutionDetector",
     "LossyNetwork",
     "MessageEvent",
     "ImproveMessage",

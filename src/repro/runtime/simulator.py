@@ -35,7 +35,11 @@ from .agent import SimulatedAgent
 from .messages import Outgoing
 from .metrics import MetricsCollector
 from .network import Network, SynchronousNetwork
-from .termination import GlobalSolutionDetector, collect_assignment
+from .termination import (
+    GlobalSolutionDetector,
+    IncrementalSolutionDetector,
+    collect_assignment,
+)
 
 #: The paper's cycle cap.
 DEFAULT_MAX_CYCLES = 10_000
@@ -57,6 +61,9 @@ class RunResult:
     redundant_generations: int
     assignment: Dict[VariableId, Value] = field(default_factory=dict)
     wall_time: float = 0.0
+    #: Wall-clock seconds minus time spent inside the tracer's hooks: the
+    #: simulation cost proper, comparable across traced and untraced runs.
+    sim_time: float = 0.0
     max_history: List[int] = field(default_factory=list)
 
     @property
@@ -96,11 +103,14 @@ class SynchronousSimulator:
         self.detector = (
             detector
             if detector is not None
-            else GlobalSolutionDetector(problem)
+            else IncrementalSolutionDetector(problem)
         )
         #: Optional TraceRecorder-compatible observer (on_message /
         #: on_cycle_end hooks). Purely observational.
         self.tracer = tracer
+        #: Seconds spent inside tracer hooks; subtracted from ``wall_time``
+        #: to report ``sim_time``.
+        self._tracer_seconds = 0.0
         self._ids = frozenset(ids)
         #: The cycle currently executing: 0 during initialization, then the
         #: 1-based cycle whose agent steps are running. Used to tag traced
@@ -134,9 +144,11 @@ class SynchronousSimulator:
                 self._route(agent.id, outgoing)
             self.metrics.end_cycle()
             if self.tracer is not None:
+                traced_at = time.perf_counter()
                 self.tracer.on_cycle_end(
                     self.metrics.cycles, collect_assignment(self.agents)
                 )
+                self._tracer_seconds += time.perf_counter() - traced_at
             solved = self._solution_found()
             unsolvable = self._any_failure()
             if not solved and not unsolvable and self.network.is_idle():
@@ -147,6 +159,7 @@ class SynchronousSimulator:
             and not quiescent
             and self.metrics.cycles >= self.max_cycles
         )
+        wall_time = time.perf_counter() - started
         return RunResult(
             solved=solved,
             unsolvable=unsolvable,
@@ -159,7 +172,8 @@ class SynchronousSimulator:
             generated_nogoods=self.metrics.generated_count,
             redundant_generations=self.metrics.redundant_generations,
             assignment=collect_assignment(self.agents),
-            wall_time=time.perf_counter() - started,
+            wall_time=wall_time,
+            sim_time=wall_time - self._tracer_seconds,
             max_history=list(self.metrics.max_history),
         )
 
@@ -173,9 +187,11 @@ class SynchronousSimulator:
                     f"{recipient}"
                 )
             if self.tracer is not None:
+                traced_at = time.perf_counter()
                 self.tracer.on_message(
                     self._current_cycle, sender, recipient, message
                 )
+                self._tracer_seconds += time.perf_counter() - traced_at
             self.network.send(sender, recipient, message)
 
     def _solution_found(self) -> bool:

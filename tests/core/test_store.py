@@ -154,3 +154,70 @@ class TestLinearStore:
         indexed.count_violated(view, 0)
         linear.count_violated(view, 0)
         assert linear.counter.total > indexed.counter.total
+
+
+class TestReadOnlyBuckets:
+    """Mutation through for_value()'s return value must never corrupt the
+    store's index (it used to hand out its live internal bucket)."""
+
+    def setup_method(self):
+        self.store = NogoodStore(own_variable=0)
+        self.indexed = Nogood.of((0, 0), (1, 0))
+        self.store.add(self.indexed)
+
+    def test_bucket_mutators_raise(self):
+        bucket = self.store.for_value(0)
+        rogue = Nogood.of((0, 0), (2, 2))
+        with pytest.raises(TypeError):
+            bucket.append(rogue)
+        with pytest.raises(TypeError):
+            bucket.extend([rogue])
+        with pytest.raises(TypeError):
+            bucket.insert(0, rogue)
+        with pytest.raises(TypeError):
+            bucket.pop()
+        with pytest.raises(TypeError):
+            bucket.remove(self.indexed)
+        with pytest.raises(TypeError):
+            bucket.clear()
+        with pytest.raises(TypeError):
+            bucket.sort()
+        with pytest.raises(TypeError):
+            bucket.reverse()
+        with pytest.raises(TypeError):
+            bucket[0] = rogue
+        with pytest.raises(TypeError):
+            del bucket[0]
+        with pytest.raises(TypeError):
+            bucket += [rogue]
+
+    def test_index_survives_attempted_mutation(self):
+        bucket = self.store.for_value(0)
+        with pytest.raises(TypeError):
+            bucket.clear()
+        assert self.store.for_value(0) == [self.indexed]
+        assert len(self.store) == 1
+
+    def test_empty_bucket_is_immutable_too(self):
+        empty = self.store.for_value(99)
+        with pytest.raises(TypeError):
+            empty.append(Nogood.of((0, 99)))
+        assert self.store.for_value(99) == []
+        # The empty bucket is shared; a successful mutation would have
+        # leaked a phantom nogood into every store.
+        other = NogoodStore(own_variable=1)
+        assert other.for_value(0) == []
+
+    def test_unconditional_merge_is_a_fresh_list(self):
+        unconditional = Nogood.of((1, 1), (2, 1))
+        self.store.add(unconditional)
+        merged = self.store.for_value(0)
+        merged.append(Nogood.of((0, 5)))  # plain list: mutation is harmless
+        assert self.store.for_value(0) == [self.indexed, unconditional]
+
+    def test_store_can_still_grow_after_handing_out_buckets(self):
+        bucket = self.store.for_value(0)
+        later = Nogood.of((0, 0), (3, 0))
+        assert self.store.add(later) is True
+        assert self.store.for_value(0) == [self.indexed, later]
+        assert bucket == [self.indexed, later]  # same live bucket, by design

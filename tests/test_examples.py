@@ -2,9 +2,12 @@
 
 Examples are documentation that executes; a broken one is worse than none.
 Each runs in a subprocess with a timeout, in a temp working directory so
-cache artifacts stay out of the repository.
+cache artifacts stay out of the repository. The subprocess inherits no
+import path from pytest, so ``PYTHONPATH`` must point at ``src/``
+explicitly — examples assume an installed (or path-configured) ``repro``.
 """
 
+import os
 import subprocess
 import sys
 from pathlib import Path
@@ -13,6 +16,16 @@ import pytest
 
 EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
 EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+SRC_DIR = EXAMPLES_DIR.parent / "src"
+
+
+def _example_environment() -> dict:
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = (
+        f"{SRC_DIR}{os.pathsep}{existing}" if existing else str(SRC_DIR)
+    )
+    return env
 
 
 @pytest.mark.parametrize(
@@ -25,6 +38,7 @@ def test_example_runs(script, tmp_path):
         capture_output=True,
         text=True,
         timeout=600,
+        env=_example_environment(),
     )
     assert result.returncode == 0, (
         f"{script.name} failed:\n{result.stdout}\n{result.stderr}"

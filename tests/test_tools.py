@@ -52,3 +52,36 @@ class TestGenerator:
             )
         finally:
             target.write_text(before)
+
+
+class TestBenchSmoke:
+    def test_bench_smoke_runs_and_verifies_identity(self, tmp_path):
+        import json
+        import os
+        import subprocess
+
+        script = TOOL.parent / "bench_smoke.py"
+        out = tmp_path / "bench.json"
+        env = dict(os.environ)
+        src = str(TOOL.parent.parent / "src")
+        env["PYTHONPATH"] = (
+            f"{src}{os.pathsep}{env['PYTHONPATH']}"
+            if env.get("PYTHONPATH")
+            else src
+        )
+        result = subprocess.run(
+            [sys.executable, str(script), "--jobs", "2", "--output", str(out)],
+            capture_output=True,
+            text=True,
+            timeout=600,
+            env=env,
+            cwd=tmp_path,
+        )
+        assert result.returncode == 0, result.stdout + result.stderr
+        report = json.loads(out.read_text())
+        assert report["results_identical"] is True
+        assert report["speedup"] > 0
+        assert report["sequential"]["totals"]["trials"] == (
+            report["parallel"]["totals"]["trials"]
+        )
+        assert len(report["sequential"]["cells"]) == len(report["grid"])

@@ -1,0 +1,212 @@
+"""Smoke benchmark for the trial-execution engine.
+
+Runs a fixed quick-scale grid of table cells twice — sequentially and
+through the parallel engine — verifies the results are identical, and
+writes ``BENCH_trial_engine.json`` with wall times, the parallel speedup,
+and nogood-check throughput. Later PRs re-run this to track the perf
+trajectory of the experiment hot path.
+
+Usage::
+
+    PYTHONPATH=src python tools/bench_smoke.py [--jobs N] [--output PATH]
+
+The grid is deliberately small (quick-scale sizes, a few seconds per leg)
+so CI can afford it; the JSON records the machine's core count, so a
+1-core runner reporting speedup ≈ 1/overhead is expected and honest.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.algorithms.registry import algorithm_by_name  # noqa: E402
+from repro.experiments.paper import instances_for  # noqa: E402
+from repro.experiments.parallel import run_cell_parallel  # noqa: E402
+from repro.experiments.runner import run_cell  # noqa: E402
+
+#: (family, n, instances, inits, algorithm label) — fixed quick-scale grid.
+GRID = (
+    ("d3c", 15, 2, 2, "AWC+Rslv"),
+    ("d3c", 15, 2, 2, "AWC+No"),
+    ("d3s", 12, 2, 2, "AWC+Rslv"),
+    ("d3s", 12, 2, 2, "AWC+No"),
+    ("d3s1", 10, 2, 2, "AWC+Rslv"),
+    ("d3s1", 10, 2, 2, "DB"),
+)
+
+MAX_CYCLES = 3_000
+MASTER_SEED = 0
+
+#: Fields that must agree between the sequential and parallel legs.
+MEASURE_FIELDS = (
+    "solved",
+    "cycles",
+    "maxcck",
+    "total_checks",
+    "messages_sent",
+    "assignment",
+)
+
+
+def cell_measures(cell):
+    return [
+        tuple(
+            sorted(getattr(trial, name).items())
+            if name == "assignment"
+            else getattr(trial, name)
+            for name in MEASURE_FIELDS
+        )
+        for trial in cell.trials
+    ]
+
+
+def run_grid(workers: int):
+    """One pass over the grid; returns (per-cell rows, totals)."""
+    rows = []
+    total_seconds = 0.0
+    total_checks = 0
+    total_trials = 0
+    for family, n, num_instances, inits, label in GRID:
+        instances = instances_for(family, n, num_instances, MASTER_SEED)
+        spec = algorithm_by_name(label)
+        started = time.perf_counter()
+        if workers > 1:
+            cell = run_cell_parallel(
+                instances,
+                spec,
+                inits_per_instance=inits,
+                master_seed=MASTER_SEED,
+                n=n,
+                max_cycles=MAX_CYCLES,
+                workers=workers,
+            )
+        else:
+            cell = run_cell(
+                instances,
+                spec,
+                inits_per_instance=inits,
+                master_seed=MASTER_SEED,
+                n=n,
+                max_cycles=MAX_CYCLES,
+                workers=1,
+            )
+        elapsed = time.perf_counter() - started
+        checks = sum(trial.total_checks for trial in cell.trials)
+        rows.append(
+            {
+                "family": family,
+                "n": n,
+                "algorithm": label,
+                "trials": cell.num_trials,
+                "wall_seconds": round(elapsed, 4),
+                "mean_cycle": round(cell.mean_cycle, 2),
+                "mean_maxcck": round(cell.mean_maxcck, 2),
+                "percent_solved": round(cell.percent_solved, 1),
+                "total_checks": checks,
+                "checks_per_second": round(checks / elapsed) if elapsed else 0,
+                "cell": cell,
+            }
+        )
+        total_seconds += elapsed
+        total_checks += checks
+        total_trials += cell.num_trials
+    return rows, {
+        "wall_seconds": round(total_seconds, 4),
+        "total_checks": total_checks,
+        "trials": total_trials,
+        "checks_per_second": (
+            round(total_checks / total_seconds) if total_seconds else 0
+        ),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="workers for the parallel leg (default: min(4, cores))",
+    )
+    parser.add_argument(
+        "--output",
+        default=str(
+            Path(__file__).resolve().parent.parent / "BENCH_trial_engine.json"
+        ),
+        help="where to write the JSON report",
+    )
+    args = parser.parse_args(argv)
+    cores = os.cpu_count() or 1
+    jobs = args.jobs if args.jobs is not None else min(4, cores)
+
+    print(f"bench_smoke: {len(GRID)} cells, sequential vs {jobs} workers "
+          f"({cores} cores available)")
+    sequential_rows, sequential_totals = run_grid(workers=1)
+    parallel_rows, parallel_totals = run_grid(workers=jobs)
+
+    mismatches = [
+        f"{s['family']}-n{s['n']}-{s['algorithm']}"
+        for s, p in zip(sequential_rows, parallel_rows)
+        if cell_measures(s.pop("cell")) != cell_measures(p.pop("cell"))
+    ]
+    if mismatches:
+        print(f"FATAL: parallel results diverge from sequential: {mismatches}")
+        return 1
+
+    speedup = (
+        sequential_totals["wall_seconds"] / parallel_totals["wall_seconds"]
+        if parallel_totals["wall_seconds"]
+        else 0.0
+    )
+    report = {
+        "benchmark": "trial_engine_smoke",
+        "grid": [
+            {
+                "family": family,
+                "n": n,
+                "instances": instances,
+                "inits": inits,
+                "algorithm": label,
+            }
+            for family, n, instances, inits, label in GRID
+        ],
+        "max_cycles": MAX_CYCLES,
+        "master_seed": MASTER_SEED,
+        "machine": {
+            "cpu_count": cores,
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+        },
+        "workers": jobs,
+        "sequential": {"cells": sequential_rows, "totals": sequential_totals},
+        "parallel": {"cells": parallel_rows, "totals": parallel_totals},
+        "speedup": round(speedup, 3),
+        "results_identical": True,
+        "note": (
+            "speedup is bounded by physical cores: with "
+            f"{cores} core(s) available, {jobs} workers can at best "
+            f"approach {min(jobs, cores)}x minus pool overhead"
+        ),
+    }
+    Path(args.output).write_text(json.dumps(report, indent=2) + "\n")
+    print(
+        f"sequential {sequential_totals['wall_seconds']:.2f}s "
+        f"({sequential_totals['checks_per_second']:,} checks/s), "
+        f"parallel[{jobs}] {parallel_totals['wall_seconds']:.2f}s "
+        f"({parallel_totals['checks_per_second']:,} checks/s), "
+        f"speedup {speedup:.2f}x"
+    )
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
