@@ -8,7 +8,7 @@ variable lookup, initial local nogoods, recipients bookkeeping).
 from __future__ import annotations
 
 import random
-from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
+from typing import Callable, Iterable, List, Optional, TypeVar
 
 from ..core.exceptions import ModelError
 from ..core.problem import AgentId, DisCSP

@@ -41,7 +41,7 @@ from ..runtime.messages import (
     OkRoundMessage,
     Outgoing,
 )
-from .base import SingleVariableAgent, argmin_with_ties
+from .base import SingleVariableAgent
 
 #: Weighting modes: this paper's per-nogood weights, or the original DB's
 #: per-variable-pair weights.

@@ -27,7 +27,6 @@ import random
 from typing import Dict, List, Optional, Sequence
 
 from ..core.exceptions import ModelError
-from ..core.nogood import Nogood
 from ..core.problem import AgentId, DisCSP
 from ..core.variables import Value, VariableId
 from ..learning.base import LearningMethod
@@ -147,7 +146,7 @@ class MultiVariableAwcAgent(SimulatedAgent):
                 if variable != originating_variable:
                     self._carryover.setdefault(variable, []).append(message)
         elif isinstance(message, NogoodMessage):
-            for variable in message.nogood.variables:
+            for variable in sorted(message.nogood.variables):
                 if variable in self._handlers and variable != originating_variable:
                     self._carryover.setdefault(variable, []).append(message)
         elif isinstance(message, RequestValueMessage):

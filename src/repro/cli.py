@@ -275,6 +275,23 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from .lint.cli import main as lint_main
+
+    forwarded: List[str] = list(args.paths)
+    if args.baseline:
+        forwarded += ["--baseline", args.baseline]
+    if args.write_baseline:
+        forwarded.append("--write-baseline")
+    if args.list_rules:
+        forwarded.append("--list-rules")
+    if args.format != "text":
+        forwarded += ["--format", args.format]
+    for pattern in args.exclude or ():
+        forwarded += ["--exclude", pattern]
+    return lint_main(forwarded)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -388,6 +405,22 @@ def build_parser() -> argparse.ArgumentParser:
     generate.add_argument("--seed", type=int, default=0)
     generate.add_argument("-o", "--output", default="instances")
     generate.set_defaults(func=_cmd_generate)
+
+    lint = sub.add_parser(
+        "lint",
+        help="check the determinism / isolation / accounting invariants "
+        "(see CONTRIBUTING.md)",
+    )
+    lint.add_argument(
+        "paths", nargs="*", default=["src/"],
+        help="files or directories to lint (default: src/)",
+    )
+    lint.add_argument("--baseline", default=None)
+    lint.add_argument("--write-baseline", action="store_true")
+    lint.add_argument("--list-rules", action="store_true")
+    lint.add_argument("--format", choices=("text", "json"), default="text")
+    lint.add_argument("--exclude", action="append", default=None)
+    lint.set_defaults(func=_cmd_lint)
 
     return parser
 

@@ -15,6 +15,7 @@ with solving a CSP in a distributed manner.
 
 from __future__ import annotations
 
+import random
 from typing import (
     Dict,
     FrozenSet,
@@ -22,8 +23,7 @@ from typing import (
     List,
     Mapping,
     Optional,
-    Sequence,
-    Tuple,
+        Tuple,
 )
 
 from .exceptions import ModelError
@@ -279,7 +279,7 @@ class DisCSP:
 
 
 def random_assignment(
-    problem: CSP, rng
+    problem: CSP, rng: "random.Random"
 ) -> Dict[VariableId, Value]:
     """Draw a uniform random complete assignment for *problem* using *rng*."""
     return {

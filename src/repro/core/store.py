@@ -18,7 +18,7 @@ bucket consulted for every candidate.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Set, Tuple
+from typing import Dict, Iterator, List, NoReturn, Optional, Set
 
 from .assignment import AgentView
 from .nogood import Nogood
@@ -61,7 +61,7 @@ class ReadOnlyBucket(List[Nogood]):
 
     __slots__ = ()
 
-    def _refuse(self, *args, **kwargs):
+    def _refuse(self, *args: object, **kwargs: object) -> "NoReturn":
         raise TypeError(
             "NogoodStore buckets are read-only; add nogoods via "
             "NogoodStore.add()"

@@ -25,18 +25,21 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence, Tuple
 
-from ..algorithms.registry import AlgorithmSpec, algorithm_by_name
+from ..algorithms.registry import algorithm_by_name
 from ..core.exceptions import ModelError
 from ..runtime.network import (
     FixedDelayNetwork,
-    LossyNetwork,
     Network,
-    RandomDelayNetwork,
     SynchronousNetwork,
 )
-from ..runtime.random_source import Seed, derive_rng, derive_seed
+from ..runtime.random_source import Seed, derive_seed
 from .paper import Scale, instances_for, scale_from_environment
-from .runner import CellResult, run_cell
+from .runner import (
+    CellResult,
+    lossy_network_factory,
+    random_delay_network_factory,
+    run_cell,
+)
 from .tables import Table, TableRow
 
 
@@ -57,12 +60,11 @@ def network_model(spec: str) -> NetworkModel:
         return NetworkModel("sync", lambda seed: SynchronousNetwork())
     if kind == "lossy":
         percent = int(parts[1]) if len(parts) > 1 else 30
+        # The factory seeds the loss process from the trial seed, so the
+        # delay schedule is reproducible sequentially and under --jobs N.
         return NetworkModel(
             f"lossy({percent}%)",
-            lambda seed, p=percent: LossyNetwork(
-                loss_rate=p / 100.0,
-                rng=derive_rng(seed, "asynchrony-lossy"),
-            ),
+            lossy_network_factory(loss_rate=percent / 100.0),
         )
     if kind == "fixed":
         delay = int(parts[1]) if len(parts) > 1 else 2
@@ -76,9 +78,7 @@ def network_model(spec: str) -> NetworkModel:
         suffix = "" if fifo else "/reorder"
         return NetworkModel(
             f"random({delay}){suffix}",
-            lambda seed, d=delay, f=fifo: RandomDelayNetwork(
-                max_delay=d, rng=derive_rng(seed, "asynchrony-net"), fifo=f
-            ),
+            random_delay_network_factory(max_delay=delay, fifo=fifo),
         )
     raise ModelError(f"unknown network spec {spec!r}")
 

@@ -9,7 +9,7 @@ the point past which AWC's learning pays for its computation.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
 from ..algorithms.registry import algorithm_by_name
 from ..runtime.random_source import Seed

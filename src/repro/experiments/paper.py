@@ -35,7 +35,7 @@ import os
 from dataclasses import dataclass
 from functools import lru_cache
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..algorithms.registry import AlgorithmSpec, algorithm_by_name
 from ..core.exceptions import ModelError

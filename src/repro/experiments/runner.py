@@ -35,6 +35,63 @@ def synchronous_network_factory(seed: Seed) -> Network:
     return SynchronousNetwork()
 
 
+@dataclass(frozen=True)
+class RandomDelayNetworkFactory:
+    """A per-trial :class:`~repro.runtime.network.RandomDelayNetwork` factory.
+
+    The delay RNG is derived from the trial seed, so the delay schedule is
+    part of the trial's reproducible state: the same seed yields the same
+    deliveries whether trials run sequentially or under ``--jobs N``. A
+    frozen top-level dataclass (not a closure) so it pickles into worker
+    processes.
+    """
+
+    max_delay: int = 3
+    fifo: bool = True
+
+    def __call__(self, seed: Seed) -> Network:
+        from ..runtime.network import RandomDelayNetwork
+
+        return RandomDelayNetwork(
+            max_delay=self.max_delay, fifo=self.fifo, seed=seed
+        )
+
+
+@dataclass(frozen=True)
+class LossyNetworkFactory:
+    """A per-trial :class:`~repro.runtime.network.LossyNetwork` factory,
+    loss process seeded from the trial seed (cf.
+    :class:`RandomDelayNetworkFactory`)."""
+
+    loss_rate: float = 0.3
+    retransmit_after: int = 1
+
+    def __call__(self, seed: Seed) -> Network:
+        from ..runtime.network import LossyNetwork
+
+        return LossyNetwork(
+            loss_rate=self.loss_rate,
+            retransmit_after=self.retransmit_after,
+            seed=seed,
+        )
+
+
+def random_delay_network_factory(
+    max_delay: int = 3, fifo: bool = True
+) -> NetworkFactory:
+    """Shorthand for :class:`RandomDelayNetworkFactory`."""
+    return RandomDelayNetworkFactory(max_delay=max_delay, fifo=fifo)
+
+
+def lossy_network_factory(
+    loss_rate: float = 0.3, retransmit_after: int = 1
+) -> NetworkFactory:
+    """Shorthand for :class:`LossyNetworkFactory`."""
+    return LossyNetworkFactory(
+        loss_rate=loss_rate, retransmit_after=retransmit_after
+    )
+
+
 def random_initial_assignment(
     problem: DisCSP, seed: Seed
 ) -> Dict[VariableId, Value]:

@@ -9,7 +9,7 @@ renderer prints them side by side so shape comparisons are immediate.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from .runner import CellResult
 

@@ -1,0 +1,33 @@
+"""repro-lint: AST-based checks for the invariants the paper's results rest on.
+
+The simulator's correctness contract has three parts no unit test can pin
+locally:
+
+* **Determinism** — a run is a pure function of its seed. Rules D1 (no
+  global/unseeded ``random``), D2 (no wall-clock reads in simulated code)
+  and D3 (no order-sensitive iteration over sets) guard it.
+* **Agent isolation** — agents communicate only through messages. Rule P1
+  guards it (frozen message dataclasses; no mutation of received messages).
+* **Metric accounting** — every nogood consistency test is counted toward
+  ``maxcck``. Rule M1 guards it (no uncounted predicates in agent code).
+
+Run as ``python -m repro.lint src/ tests/`` or ``repro lint``. Findings can
+be suppressed per line with ``# repro-lint: disable=<RULE> -- <why>`` — the
+justification is mandatory. See CONTRIBUTING.md for the rule catalogue.
+"""
+
+from .findings import Finding
+from .engine import lint_paths, lint_file, lint_source, load_baseline
+from .rules import ALL_RULES, rule_by_id
+from .cli import main
+
+__all__ = [
+    "Finding",
+    "ALL_RULES",
+    "rule_by_id",
+    "lint_paths",
+    "lint_file",
+    "lint_source",
+    "load_baseline",
+    "main",
+]

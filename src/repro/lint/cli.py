@@ -1,0 +1,142 @@
+"""The repro-lint command line: ``python -m repro.lint`` / ``repro lint``.
+
+Exit status: 0 when the tree is clean (after suppressions and baseline),
+1 when any finding remains, 2 on usage errors. CI gates on this.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import List, Optional
+
+from .engine import (
+    BASELINE_FILENAME,
+    DEFAULT_EXCLUDES,
+    format_baseline,
+    lint_paths,
+    load_baseline,
+)
+from .rules import ALL_RULES
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description=(
+            "AST-based invariant checker: determinism (D1-D3), agent "
+            "isolation (P1), metric accounting (M1). See CONTRIBUTING.md "
+            "for the rule catalogue."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/"],
+        help="files or directories to lint (default: src/)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        help=(
+            "baseline file of deferred findings (default: "
+            f"{BASELINE_FILENAME} if it exists)"
+        ),
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="write current findings to the baseline file and exit 0",
+    )
+    parser.add_argument(
+        "--exclude",
+        action="append",
+        default=None,
+        metavar="GLOB",
+        help=(
+            "glob of paths to skip (repeatable; default: "
+            f"{', '.join(DEFAULT_EXCLUDES)})"
+        ),
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--no-hints", action="store_true", help="omit fix hints"
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalogue"
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        for rule in ALL_RULES:
+            doc = (rule.__doc__ or "").strip().splitlines()[0]
+            print(f"{rule.id}  {rule.title}: {doc}")
+        print(
+            "X0  control comments: a disable= without justification is "
+            "itself a finding."
+        )
+        return 0
+
+    baseline_path = args.baseline
+    if baseline_path is None and os.path.exists(BASELINE_FILENAME):
+        baseline_path = BASELINE_FILENAME
+    baseline = load_baseline(baseline_path) if baseline_path else set()
+
+    excludes = args.exclude if args.exclude else list(DEFAULT_EXCLUDES)
+
+    if args.write_baseline:
+        findings = lint_paths(args.paths, baseline=None, excludes=excludes)
+        target = baseline_path or BASELINE_FILENAME
+        with open(target, "w", encoding="utf-8") as handle:
+            handle.write(format_baseline(findings))
+        print(
+            f"wrote {len(findings)} finding(s) to {target}; they will be "
+            "ignored until removed from the baseline"
+        )
+        return 0
+
+    findings = lint_paths(args.paths, baseline=baseline, excludes=excludes)
+
+    if args.format == "json":
+        print(
+            json.dumps(
+                [
+                    {
+                        "path": finding.path,
+                        "line": finding.line,
+                        "column": finding.column,
+                        "rule": finding.rule,
+                        "message": finding.message,
+                        "hint": finding.hint,
+                    }
+                    for finding in findings
+                ],
+                indent=2,
+            )
+        )
+    else:
+        for finding in findings:
+            print(finding.format(show_hint=not args.no_hints))
+        if findings:
+            print(
+                f"\nrepro-lint: {len(findings)} finding(s). Each one either "
+                "gets fixed, a justified '# repro-lint: disable=' comment, "
+                "or a baseline entry."
+            )
+        else:
+            print("repro-lint: clean.")
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

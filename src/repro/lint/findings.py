@@ -1,0 +1,36 @@
+"""The finding record every lint rule produces.
+
+A finding is a location plus two human-facing strings: what invariant the
+code breaks, and a concrete *fix hint* — the checker refuses code, so it
+owes the author the way out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at a source location."""
+
+    path: str
+    line: int
+    column: int
+    rule: str
+    message: str
+    hint: str = field(default="", compare=False)
+    #: The stripped source line, used for baseline fingerprinting (line
+    #: numbers drift; the offending text rarely does).
+    source: str = field(default="", compare=False)
+
+    def format(self, show_hint: bool = True) -> str:
+        text = f"{self.path}:{self.line}:{self.column}: {self.rule} {self.message}"
+        if show_hint and self.hint:
+            text += f"\n    fix: {self.hint}"
+        return text
+
+    @property
+    def fingerprint(self) -> str:
+        """Baseline identity: rule + path + offending text, line-number free."""
+        return f"{self.rule}\t{self.path}\t{self.source}"

@@ -13,13 +13,12 @@ example uses.
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 from ..core.nogood import Nogood
 from ..core.problem import CSP, DisCSP
-from ..core.variables import Domain, integer_domain
+from ..core.variables import integer_domain
 from ..runtime.random_source import Seed, derive_rng
 from .graphs import Graph, planted_coloring_graph
 

@@ -11,7 +11,7 @@ in the hard region identified by Cheeseman et al.
 from __future__ import annotations
 
 import random
-from typing import Dict, FrozenSet, Iterable, List, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Set, Tuple
 
 from ..core.exceptions import GenerationError, ModelError
 

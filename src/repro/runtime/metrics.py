@@ -20,7 +20,7 @@ bug cannot change search behaviour, and vice versa.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Set
+from typing import Dict, List, Set
 
 from ..core.nogood import Nogood
 from ..core.problem import AgentId

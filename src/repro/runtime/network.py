@@ -22,6 +22,7 @@ from typing import Dict, List, Optional, Tuple
 from ..core.exceptions import SimulationError
 from ..core.problem import AgentId
 from .messages import Message
+from .random_source import Seed, derive_rng
 
 #: A delivered message tagged with its sender-declared envelope recipient.
 Inbox = Dict[AgentId, List[Message]]
@@ -143,6 +144,11 @@ class LossyNetwork(Network):
     Per-channel FIFO is preserved: a retransmitted message never overtakes
     a later one, because delivery order is decided by send sequence among
     messages that have "arrived" (survived loss).
+
+    The loss process draws from *rng* when given; otherwise from a stream
+    derived from *seed* — pass the simulator/trial seed so delay schedules
+    are part of the trial's reproducible state (identical sequentially and
+    under ``--jobs N``), never from shared global RNG state.
     """
 
     def __init__(
@@ -151,6 +157,7 @@ class LossyNetwork(Network):
         retransmit_after: int = 1,
         rng: Optional[random.Random] = None,
         max_attempts: int = 1000,
+        seed: Seed = 0,
     ) -> None:
         super().__init__()
         if not 0.0 <= loss_rate < 1.0:
@@ -164,7 +171,9 @@ class LossyNetwork(Network):
         self.loss_rate = loss_rate
         self.retransmit_after = retransmit_after
         self.max_attempts = max_attempts
-        self._rng = rng if rng is not None else random.Random(0)
+        self._rng = (
+            rng if rng is not None else derive_rng(seed, "network", "lossy")
+        )
         self._now = 0
         self._sequence = 0
         self.dropped_count = 0
@@ -228,6 +237,11 @@ class RandomDelayNetwork(Network):
 
     Deliveries within a cycle are ordered by (send order), independent of the
     heap's internal layout, so runs are reproducible for a fixed seed.
+
+    Delay draws come from *rng* when given; otherwise from a stream derived
+    from *seed* — pass the simulator/trial seed so the delay schedule is
+    part of the trial's reproducible state (identical sequentially and
+    under ``--jobs N``), never from shared global RNG state.
     """
 
     def __init__(
@@ -235,6 +249,7 @@ class RandomDelayNetwork(Network):
         max_delay: int = 3,
         rng: Optional[random.Random] = None,
         fifo: bool = True,
+        seed: Seed = 0,
     ) -> None:
         super().__init__()
         if max_delay < 1:
@@ -243,7 +258,9 @@ class RandomDelayNetwork(Network):
             )
         self.max_delay = max_delay
         self.fifo = fifo
-        self._rng = rng if rng is not None else random.Random(0)
+        self._rng = (
+            rng if rng is not None else derive_rng(seed, "network", "delay")
+        )
         self._now = 0
         self._sequence = 0
         self._heap: List[Tuple[int, int, AgentId, Message]] = []

@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
 from ..core.exceptions import SimulationError
 from ..core.problem import AgentId, DisCSP
@@ -40,6 +40,9 @@ from .termination import (
     IncrementalSolutionDetector,
     collect_assignment,
 )
+
+if TYPE_CHECKING:
+    from .trace import TraceRecorder
 
 #: The paper's cycle cap.
 DEFAULT_MAX_CYCLES = 10_000
@@ -83,7 +86,7 @@ class SynchronousSimulator:
         max_cycles: int = DEFAULT_MAX_CYCLES,
         metrics: Optional[MetricsCollector] = None,
         detector: Optional[GlobalSolutionDetector] = None,
-        tracer=None,
+        tracer: Optional["TraceRecorder"] = None,
     ) -> None:
         if max_cycles < 1:
             raise SimulationError(f"max_cycles must be positive: {max_cycles}")

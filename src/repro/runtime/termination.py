@@ -16,12 +16,15 @@ entailed by the problem), so "solution observed" is safe in both modes.
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Optional, Set, Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, List, Mapping, Set, Tuple
 
 from ..core.nogood import Nogood
 from ..core.problem import DisCSP
 from ..core.variables import Value, VariableId
 from .network import Network
+
+if TYPE_CHECKING:
+    from .agent import SimulatedAgent
 
 
 class GlobalSolutionDetector:
@@ -155,7 +158,9 @@ class QuiescentSolutionDetector(GlobalSolutionDetector):
         return self._network.is_idle() and super().is_solution(assignment)
 
 
-def collect_assignment(agents) -> Dict[VariableId, Value]:
+def collect_assignment(
+    agents: Iterable["SimulatedAgent"],
+) -> Dict[VariableId, Value]:
     """Merge the local assignments of *agents* into one global assignment."""
     merged: Dict[VariableId, Value] = {}
     for agent in agents:

@@ -12,7 +12,7 @@ alters delivery, ordering, or cost accounting — and is off by default
 from __future__ import annotations
 
 from collections import Counter
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from ..core.problem import AgentId

@@ -10,7 +10,7 @@ over speed, since the test and verification workloads are small.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional
 
 from ..core.exceptions import SolverError
 from ..core.nogood import Nogood

@@ -29,7 +29,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.exceptions import SolverError
-from .dpll import Clause, normalize_clause
+from .dpll import normalize_clause
 
 _UNASSIGNED = 0
 _TRUE = 1

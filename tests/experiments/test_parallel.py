@@ -17,7 +17,12 @@ from repro.experiments.parallel import (
     run_cell_parallel,
 )
 from repro.experiments.paper import instances_for
-from repro.experiments.runner import run_cell, trial_parameters
+from repro.experiments.runner import (
+    lossy_network_factory,
+    random_delay_network_factory,
+    run_cell,
+    trial_parameters,
+)
 from repro.runtime.network import SynchronousNetwork
 
 #: Every RunResult field that must match bit-for-bit across execution
@@ -83,6 +88,31 @@ def test_parallel_is_bit_identical_to_sequential(family, master_seed):
     assert sequential.percent_solved == parallel.percent_solved
     assert sequential.label == parallel.label
     assert sequential.n == parallel.n
+
+
+@pytest.mark.parametrize(
+    "factory",
+    [
+        random_delay_network_factory(max_delay=2),
+        lossy_network_factory(loss_rate=0.2),
+    ],
+    ids=["delay", "lossy"],
+)
+def test_seeded_networks_are_bit_identical_under_workers(factory):
+    """The asynchronous networks draw from seed-derived RNGs, so even their
+    trials must not care whether they ran sequentially or in a pool."""
+    instances = instances_for("d3c", 15, 2, 0)
+    spec = algorithm_by_name("AWC+Rslv")
+    kwargs = dict(
+        inits_per_instance=2,
+        master_seed=0,
+        n=15,
+        max_cycles=2_000,
+        network_factory=factory,
+    )
+    sequential = run_cell(instances, spec, workers=1, **kwargs)
+    parallel = run_cell(instances, spec, workers=2, **kwargs)
+    assert trial_fingerprints(sequential) == trial_fingerprints(parallel)
 
 
 def test_unpicklable_network_factory_falls_back_sequentially():

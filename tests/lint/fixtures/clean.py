@@ -1,0 +1,17 @@
+# repro-lint: module=algorithms/fixture_clean.py
+"""Code that satisfies every repro-lint rule."""
+
+from dataclasses import dataclass
+from random import Random
+
+
+@dataclass(frozen=True)
+class PingMessage:
+    payload: int
+
+
+def choose(rng: Random, nogood, store, view):
+    ordered = sorted(nogood.variables)
+    if store.is_violated(view):
+        return rng.choice(ordered)
+    return None

@@ -1,0 +1,16 @@
+# repro-lint: module=algorithms/fixture_d1.py
+import random
+from random import shuffle
+from random import Random
+
+
+def pick(options):
+    return random.choice(options)
+
+
+def roll():
+    return random.random()  # repro-lint: disable=D1 -- fixture: suppressed on purpose
+
+
+def seeded(rng: Random, options):
+    return rng.choice(options)

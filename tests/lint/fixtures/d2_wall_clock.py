@@ -1,0 +1,21 @@
+# repro-lint: module=runtime/fixture_d2.py
+import time
+import datetime
+from datetime import datetime as dt
+from time import perf_counter
+
+
+def stamp():
+    return time.time()
+
+
+def tick():
+    return time.perf_counter()
+
+
+def today():
+    return datetime.datetime.now()
+
+
+def later():
+    return dt.utcnow()

@@ -1,0 +1,20 @@
+# repro-lint: module=algorithms/fixture_d3.py
+
+
+def first_conflict(conflicts):
+    for agent in {1, 2, 3}:
+        yield agent
+    for item in conflicts.pairs:
+        yield item
+
+
+def collect(nogood):
+    return [variable for variable in nogood.variables]
+
+
+def safe(nogood):
+    ordered = sorted(nogood.variables)
+    total = sum(value for value in nogood.pairs)
+    merged = set()
+    merged.update(pair for pair in nogood.pairs)
+    return ordered, total, merged

@@ -1,0 +1,17 @@
+# repro-lint: module=algorithms/fixture_m1.py
+
+
+def uncounted(nogood, view):
+    return nogood.prohibits(view)
+
+
+def wrong_receiver(bucket, view):
+    return bucket.is_violated(view)
+
+
+def counted(store, view):
+    return store.is_violated(view)
+
+
+def counted_attr(self, view):
+    return self.nogood_store.violated_higher(view, 0)

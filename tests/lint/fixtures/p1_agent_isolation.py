@@ -1,0 +1,23 @@
+# repro-lint: module=algorithms/fixture_p1.py
+from dataclasses import dataclass
+
+
+@dataclass
+class BrokenMessage:
+    payload: int
+
+
+@dataclass(frozen=True)
+class GoodMessage:
+    payload: int
+
+
+def handle(messages):
+    for message in messages:
+        message.payload = 0
+        setattr(message, "payload", 1)
+    return messages
+
+
+def rewrite(note: GoodMessage):
+    note.payload += 2

@@ -1,0 +1,10 @@
+# repro-lint: module=algorithms/fixture_x0.py
+import random
+
+
+def bad():
+    return random.random()  # repro-lint: disable=D1
+
+
+def unknown():
+    return random.random()  # repro-lint: disable=Z9 -- no such rule

@@ -1,0 +1,111 @@
+"""Engine behaviour: scoping, file walking, baseline, and the shipped tree.
+
+The last class is the PR's point: the shipped ``src/`` and ``tests/``
+trees must be lint-clean with an empty baseline, forever.
+"""
+
+from pathlib import Path
+
+from repro.lint import lint_paths, lint_source, load_baseline
+from repro.lint.engine import (
+    DEFAULT_EXCLUDES,
+    format_baseline,
+    iter_python_files,
+    scope_of,
+)
+
+HERE = Path(__file__).parent
+FIXTURES = HERE / "fixtures"
+REPO_ROOT = HERE.parents[1]
+
+
+class TestScopeOf:
+    def test_inside_the_package(self):
+        assert scope_of("src/repro/algorithms/awc.py") == "algorithms/awc.py"
+        assert scope_of("/abs/src/repro/runtime/network.py") == (
+            "runtime/network.py"
+        )
+
+    def test_outside_the_package(self):
+        assert scope_of("tests/lint/test_engine.py") is None
+        assert scope_of("tools/gen_api_docs.py") is None
+
+    def test_innermost_repro_wins(self):
+        assert scope_of("repro/old/repro/core/nogood.py") == "core/nogood.py"
+
+
+class TestFileWalking:
+    def test_fixtures_are_excluded_by_default(self):
+        assert iter_python_files([str(FIXTURES)]) == []
+        assert lint_paths([str(FIXTURES)]) == []
+
+    def test_empty_excludes_reach_the_fixtures(self):
+        files = iter_python_files([str(FIXTURES)], excludes=())
+        assert any(path.endswith("clean.py") for path in files)
+        findings = lint_paths([str(FIXTURES)], excludes=())
+        assert findings  # the deliberate violations
+
+    def test_single_file_path_is_accepted(self):
+        target = str(FIXTURES / "m1_uncounted_checks.py")
+        files = iter_python_files([target], excludes=())
+        assert files == [target]
+
+
+class TestSyntaxErrors:
+    def test_unparseable_source_is_one_x0_finding(self):
+        findings = lint_source("def broken(:\n", "bad.py")
+        assert len(findings) == 1
+        finding = findings[0]
+        assert finding.rule == "X0"
+        assert "does not parse" in finding.message
+
+
+class TestBaseline:
+    def test_roundtrip_suppresses_exactly_the_written_findings(self, tmp_path):
+        target = str(FIXTURES / "m1_uncounted_checks.py")
+        findings = lint_paths([target], excludes=())
+        assert findings
+        baseline_file = tmp_path / "repro-lint.baseline"
+        baseline_file.write_text(format_baseline(findings))
+        baseline = load_baseline(str(baseline_file))
+        assert len(baseline) == len(findings)
+        assert lint_paths([target], baseline=baseline, excludes=()) == []
+
+    def test_baseline_is_per_finding_not_per_file(self, tmp_path):
+        target = str(FIXTURES / "m1_uncounted_checks.py")
+        findings = lint_paths([target], excludes=())
+        baseline_file = tmp_path / "partial.baseline"
+        baseline_file.write_text(format_baseline(findings[:1]))
+        baseline = load_baseline(str(baseline_file))
+        remaining = lint_paths([target], baseline=baseline, excludes=())
+        assert len(remaining) == len(findings) - 1
+
+    def test_missing_baseline_file_is_empty(self, tmp_path):
+        assert load_baseline(str(tmp_path / "absent")) == set()
+
+    def test_comments_and_blanks_are_skipped(self, tmp_path):
+        baseline_file = tmp_path / "b"
+        baseline_file.write_text("# comment\n\nM1\talgorithms/x.py\tcode\n")
+        assert load_baseline(str(baseline_file)) == {
+            "M1\talgorithms/x.py\tcode"
+        }
+
+
+class TestShippedTreeIsClean:
+    def test_src_and_tests_lint_clean(self):
+        findings = lint_paths(
+            [str(REPO_ROOT / "src"), str(REPO_ROOT / "tests")]
+        )
+        assert findings == [], "\n" + "\n".join(
+            finding.format() for finding in findings
+        )
+
+    def test_shipped_baseline_is_empty(self):
+        baseline = load_baseline(str(REPO_ROOT / "repro-lint.baseline"))
+        assert baseline == set(), (
+            "the shipped baseline must stay empty; fix or justify findings "
+            "instead of deferring them"
+        )
+
+    def test_default_excludes_cover_fixture_trees(self):
+        assert any("fixtures" in pattern for pattern in DEFAULT_EXCLUDES)

@@ -1,0 +1,73 @@
+"""Unit tests for the ``# repro-lint:`` control-comment parser."""
+
+from repro.lint.suppressions import parse_suppressions
+
+KNOWN = {"D1", "D2", "D3", "P1", "M1"}
+
+
+class TestDisableComments:
+    def test_trailing_comment_applies_to_its_line(self):
+        source = "x = f()  # repro-lint: disable=D1 -- seeded upstream\n"
+        result = parse_suppressions(source, KNOWN)
+        assert result.is_suppressed(1, "D1")
+        assert not result.is_suppressed(1, "D2")
+        assert result.bad == []
+
+    def test_standalone_comment_applies_to_next_code_line(self):
+        source = (
+            "# repro-lint: disable=D3 -- order provably irrelevant\n"
+            "\n"
+            "for item in items:\n"
+            "    pass\n"
+        )
+        result = parse_suppressions(source, KNOWN)
+        assert result.is_suppressed(3, "D3")
+        assert not result.is_suppressed(1, "D3")
+
+    def test_multiple_rules_in_one_comment(self):
+        source = "x = f()  # repro-lint: disable=D1, D2 -- fixture\n"
+        result = parse_suppressions(source, KNOWN)
+        assert result.is_suppressed(1, "D1")
+        assert result.is_suppressed(1, "D2")
+
+    def test_missing_justification_is_bad(self):
+        source = "x = f()  # repro-lint: disable=D1\n"
+        result = parse_suppressions(source, KNOWN)
+        assert not result.is_suppressed(1, "D1")
+        assert len(result.bad) == 1
+        assert "justification" in result.bad[0].message
+
+    def test_unknown_rule_is_bad(self):
+        source = "x = f()  # repro-lint: disable=Z9 -- whatever\n"
+        result = parse_suppressions(source, KNOWN)
+        assert len(result.bad) == 1
+        assert "unknown rule" in result.bad[0].message
+
+    def test_known_rules_survive_alongside_an_unknown_one(self):
+        source = "x = f()  # repro-lint: disable=D1,Z9 -- partial\n"
+        result = parse_suppressions(source, KNOWN)
+        assert result.is_suppressed(1, "D1")
+        assert len(result.bad) == 1
+
+    def test_marker_inside_a_string_is_ignored(self):
+        source = 'text = "# repro-lint: disable=D1"\n'
+        result = parse_suppressions(source, KNOWN)
+        assert result.by_line == {}
+        assert result.bad == []
+
+    def test_unrecognised_repro_lint_comment_is_bad(self):
+        source = "x = 1  # repro-lint: please ignore this file\n"
+        result = parse_suppressions(source, KNOWN)
+        assert len(result.bad) == 1
+        assert "unrecognised" in result.bad[0].message
+
+
+class TestModulePragma:
+    def test_module_pragma_sets_the_override(self):
+        source = "# repro-lint: module=algorithms/fake.py\nx = 1\n"
+        result = parse_suppressions(source, KNOWN)
+        assert result.module_override == "algorithms/fake.py"
+
+    def test_no_pragma_means_no_override(self):
+        result = parse_suppressions("x = 1\n", KNOWN)
+        assert result.module_override is None

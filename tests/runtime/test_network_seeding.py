@@ -1,0 +1,95 @@
+"""Seeded network models: schedules are a pure function of the seed.
+
+The asynchronous-network experiments (Section 6's delay/loss variations)
+only reproduce if the network's randomness is part of the trial seed, not
+process-global state. These tests pin that: the same seed always yields
+the same delivery schedule, different seeds differ, and the shipped
+factories survive pickling (the parallel runner ships them to workers).
+"""
+
+import pickle
+
+from repro.experiments.runner import (
+    LossyNetworkFactory,
+    RandomDelayNetworkFactory,
+    lossy_network_factory,
+    random_delay_network_factory,
+)
+from repro.runtime.network import LossyNetwork, RandomDelayNetwork
+
+
+def delivery_schedule(network, num_messages=40, max_steps=200):
+    """Inject messages and record which arrive at each deliver() step."""
+    for index in range(num_messages):
+        network.send("a", "b", index)
+    schedule = []
+    steps = 0
+    while not network.is_idle() and steps < max_steps:
+        steps += 1
+        inbox = network.deliver()
+        schedule.append(tuple(inbox.get("b", ())))
+    return tuple(schedule)
+
+
+class TestRandomDelaySeeding:
+    def test_same_seed_same_schedule(self):
+        first = delivery_schedule(RandomDelayNetwork(max_delay=4, seed=11))
+        second = delivery_schedule(RandomDelayNetwork(max_delay=4, seed=11))
+        assert first == second
+
+    def test_different_seed_different_schedule(self):
+        first = delivery_schedule(RandomDelayNetwork(max_delay=4, seed=11))
+        second = delivery_schedule(RandomDelayNetwork(max_delay=4, seed=12))
+        assert first != second
+
+    def test_default_construction_is_deterministic(self):
+        # No seed argument means seed 0 — never the process-global RNG.
+        assert delivery_schedule(
+            RandomDelayNetwork(max_delay=3)
+        ) == delivery_schedule(RandomDelayNetwork(max_delay=3))
+
+
+class TestLossySeeding:
+    def test_same_seed_same_schedule(self):
+        first = delivery_schedule(
+            LossyNetwork(loss_rate=0.4, retransmit_after=1, seed=3)
+        )
+        second = delivery_schedule(
+            LossyNetwork(loss_rate=0.4, retransmit_after=1, seed=3)
+        )
+        assert first == second
+
+    def test_different_seed_different_schedule(self):
+        first = delivery_schedule(
+            LossyNetwork(loss_rate=0.4, retransmit_after=1, seed=3)
+        )
+        second = delivery_schedule(
+            LossyNetwork(loss_rate=0.4, retransmit_after=1, seed=4)
+        )
+        assert first != second
+
+
+class TestFactories:
+    def test_factories_are_picklable(self):
+        for factory in (
+            RandomDelayNetworkFactory(max_delay=2, fifo=False),
+            LossyNetworkFactory(loss_rate=0.1, retransmit_after=2),
+            random_delay_network_factory(),
+            lossy_network_factory(),
+        ):
+            clone = pickle.loads(pickle.dumps(factory))
+            assert clone == factory
+
+    def test_factory_threads_the_trial_seed(self):
+        factory = random_delay_network_factory(max_delay=4)
+        assert delivery_schedule(factory(21)) == delivery_schedule(
+            factory(21)
+        )
+        assert delivery_schedule(factory(21)) != delivery_schedule(
+            factory(22)
+        )
+
+    def test_pickled_factory_builds_identical_networks(self):
+        factory = lossy_network_factory(loss_rate=0.4)
+        clone = pickle.loads(pickle.dumps(factory))
+        assert delivery_schedule(factory(5)) == delivery_schedule(clone(5))
