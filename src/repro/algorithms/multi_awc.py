@@ -110,6 +110,16 @@ class MultiVariableAwcAgent(SimulatedAgent):
             for variable, handler in self._handlers.items()
         }
 
+    def has_pending_work(self) -> bool:
+        """Carryover left by a capped intra-round drain awaits another step.
+
+        The synchronous simulator revisits every agent each cycle, so a
+        ``intra_round_cap`` overflow is retried automatically; the
+        event-driven engine activates only on mail and needs this signal to
+        schedule a wakeup.
+        """
+        return bool(self._carryover)
+
     # -- internal message plumbing ------------------------------------------------
 
     def _run_intra_rounds(self) -> List[Outgoing]:

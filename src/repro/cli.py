@@ -56,6 +56,16 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
             "to a sequential run."
         ),
     )
+    parser.add_argument(
+        "--backend",
+        choices=("sync", "events"),
+        default="sync",
+        help=(
+            "trial execution engine: the paper's lockstep cycle simulator "
+            "or the discrete-event engine (in parity mode the tables are "
+            "identical; see docs/api.md on repro.runtime.events)"
+        ),
+    )
 
 
 def _resolve_scale(name: Optional[str]):
@@ -67,8 +77,11 @@ def _resolve_scale(name: Optional[str]):
 def _print_table(number: int, args: argparse.Namespace) -> None:
     scale = _resolve_scale(args.scale)
     jobs = getattr(args, "jobs", None)
+    backend = getattr(args, "backend", "sync")
     if number == 4:
-        for table in run_table4(scale=scale, seed=args.seed, workers=jobs):
+        for table in run_table4(
+            scale=scale, seed=args.seed, workers=jobs, backend=backend
+        ):
             print(table.format_text())
             print()
         if not args.no_reference:
@@ -78,7 +91,9 @@ def _print_table(number: int, args: argparse.Namespace) -> None:
             for (family, n, label), value in sorted(TABLE4.items()):
                 print(f"  {family:5s} n={n:<4d} {label:15s} {value:>10.1f}")
         return
-    table = run_table(number, scale=scale, seed=args.seed, workers=jobs)
+    table = run_table(
+        number, scale=scale, seed=args.seed, workers=jobs, backend=backend
+    )
     reference = None if args.no_reference else reference_for_table(number)
     print(table.format_text(reference))
 
@@ -126,9 +141,23 @@ def _cmd_figure2(args: argparse.Namespace) -> int:
 
 
 def _cmd_asynchrony(args: argparse.Namespace) -> int:
-    from .experiments.asynchrony import run_asynchrony_table
+    from .experiments.asynchrony import (
+        run_asynchrony_table,
+        run_event_asynchrony_table,
+    )
 
     scale = _resolve_scale(args.scale)
+    if getattr(args, "backend", "sync") == "events":
+        table = run_event_asynchrony_table(scale=scale, seed=args.seed)
+        print(table.format_text())
+        print(
+            "\nEvent-driven backend: 'cycle' counts epochs (distinct "
+            "delivery times) and maxcck sums per-epoch maxima — the "
+            "logical-time analogues of the paper's measures (see "
+            "EXPERIMENTS.md). The unit row is parity mode; every reported "
+            "solution is verified."
+        )
+        return 0
     table = run_asynchrony_table(scale=scale, seed=args.seed)
     print(table.format_text())
     print(
@@ -209,12 +238,22 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     formula = read_dimacs(args.path)
     problem = sat_to_discsp(formula)
     print(f"loaded {formula} from {args.path}")
+    tracer = None
+    if args.trace_jsonl:
+        from .runtime.trace import TraceRecorder
+
+        tracer = TraceRecorder()
     result = run_trial(
         problem,
         algorithm_by_name(args.algorithm),
         seed=args.seed,
         max_cycles=args.max_cycles,
+        backend=args.backend,
+        tracer=tracer,
     )
+    if tracer is not None:
+        count = tracer.write_jsonl(args.trace_jsonl)
+        print(f"wrote {count} trace records to {args.trace_jsonl}")
     if result.solved:
         literals = " ".join(
             str(variable if value else -variable)
@@ -389,6 +428,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     solve.add_argument("--seed", type=int, default=0)
     solve.add_argument("--max-cycles", type=int, default=10_000)
+    solve.add_argument(
+        "--backend",
+        choices=("sync", "events"),
+        default="sync",
+        help="execution engine (sync: lockstep cycles, events: "
+        "discrete-event; default sync)",
+    )
+    solve.add_argument(
+        "--trace-jsonl",
+        default=None,
+        metavar="PATH",
+        help="record the full message/value-change trace and write it "
+        "to PATH as JSON Lines",
+    )
     solve.set_defaults(func=_cmd_solve)
 
     generate = sub.add_parser(

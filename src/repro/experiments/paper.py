@@ -253,12 +253,16 @@ def run_table_cell(
     seed: Seed,
     max_cycles: int,
     workers: Optional[int] = None,
+    backend: str = "sync",
 ) -> CellResult:
     """One (family, n, algorithm) cell at the given trial counts.
 
     ``workers`` selects the trial-execution parallelism (default: the
     ``REPRO_JOBS`` environment variable, else sequential); results are
-    identical either way.
+    identical either way. ``backend`` selects the execution engine
+    (``"sync"`` or ``"events"``; the latter runs in parity mode here, so
+    the table values are identical by construction — see
+    :mod:`repro.runtime.events`).
     """
     instances = instances_for(family, n, num_instances, seed)
     return run_cell(
@@ -269,6 +273,7 @@ def run_table_cell(
         n=n,
         max_cycles=max_cycles,
         workers=workers,
+        backend=backend,
     )
 
 
@@ -277,6 +282,7 @@ def run_table(
     scale: Optional[Scale] = None,
     seed: Seed = 0,
     workers: Optional[int] = None,
+    backend: str = "sync",
 ) -> Table:
     """Reproduce one of Tables 1–3 / 5–10."""
     if number == 4:
@@ -302,6 +308,7 @@ def run_table(
                 seed,
                 scale.max_cycles,
                 workers=workers,
+                backend=backend,
             )
             table.add(TableRow.from_cell(cell))
     return table
@@ -311,6 +318,7 @@ def run_table4(
     scale: Optional[Scale] = None,
     seed: Seed = 0,
     workers: Optional[int] = None,
+    backend: str = "sync",
 ) -> List[Table]:
     """Reproduce Table 4: redundant nogood generations, rec vs norec.
 
@@ -338,6 +346,7 @@ def run_table4(
                     seed,
                     scale.max_cycles,
                     workers=workers,
+                    backend=backend,
                 )
                 table.add(
                     TableRow.from_cell(

@@ -39,6 +39,7 @@ from typing import List, Optional, Sequence, Tuple, Union
 from ..algorithms.registry import AlgorithmSpec, algorithm_by_name
 from ..core.exceptions import ModelError
 from ..core.problem import DisCSP
+from ..runtime.events.transport import TransportFactory
 from ..runtime.random_source import Seed
 from ..runtime.simulator import DEFAULT_MAX_CYCLES, RunResult
 from . import runner as _runner
@@ -119,6 +120,8 @@ def _init_worker(
     algorithm_ref: _AlgorithmRef,
     max_cycles: int,
     network_factory: NetworkFactory,
+    backend: str = "sync",
+    transport_factory: Optional[TransportFactory] = None,
 ) -> None:
     kind, payload = algorithm_ref
     algorithm = (
@@ -128,6 +131,8 @@ def _init_worker(
     _WORKER["algorithm"] = algorithm
     _WORKER["max_cycles"] = max_cycles
     _WORKER["network_factory"] = network_factory
+    _WORKER["backend"] = backend
+    _WORKER["transport_factory"] = transport_factory
 
 
 def _run_trial_task(
@@ -139,6 +144,8 @@ def _run_trial_task(
         trial_seed,
         max_cycles=_WORKER["max_cycles"],
         network_factory=_WORKER["network_factory"],
+        backend=_WORKER["backend"],
+        transport_factory=_WORKER["transport_factory"],
     )
     return trial_index, result
 
@@ -155,6 +162,8 @@ def run_cell_parallel(
     max_cycles: int = DEFAULT_MAX_CYCLES,
     network_factory: NetworkFactory = synchronous_network_factory,
     workers: Optional[int] = None,
+    backend: str = "sync",
+    transport_factory: Optional[TransportFactory] = None,
 ) -> CellResult:
     """One cell, trials distributed over *workers* processes.
 
@@ -162,7 +171,9 @@ def run_cell_parallel(
     identical signature plus ``workers``, identical results apart from
     timing fields. Falls back to the sequential runner (with a warning)
     when the algorithm or network factory cannot be shipped to workers,
-    and silently when one worker would gain nothing.
+    and silently when one worker would gain nothing. The ``backend`` /
+    ``transport_factory`` pair travels to the workers like the network
+    factory does, so event-driven cells parallelize identically.
     """
     effective = resolve_workers(workers)
     tasks = list(
@@ -177,18 +188,21 @@ def run_cell_parallel(
             n,
             max_cycles,
             network_factory,
+            backend,
+            transport_factory,
         )
     algorithm_ref = _algorithm_reference(algorithm)
     shippable = (
         algorithm_ref is not None
         and _is_picklable(network_factory)
+        and _is_picklable(transport_factory)
         and _is_picklable(tuple(instances))
     )
     if not shippable:
         warnings.warn(
             f"cell {algorithm.name!r} cannot be shipped to worker "
-            "processes (unpicklable algorithm, network factory, or "
-            "instances); running sequentially",
+            "processes (unpicklable algorithm, network/transport factory, "
+            "or instances); running sequentially",
             RuntimeWarning,
             stacklevel=2,
         )
@@ -200,13 +214,22 @@ def run_cell_parallel(
             n,
             max_cycles,
             network_factory,
+            backend,
+            transport_factory,
         )
     effective = min(effective, len(tasks))
     results: List[Optional[RunResult]] = [None] * len(tasks)
     with ProcessPoolExecutor(
         max_workers=effective,
         initializer=_init_worker,
-        initargs=(tuple(instances), algorithm_ref, max_cycles, network_factory),
+        initargs=(
+            tuple(instances),
+            algorithm_ref,
+            max_cycles,
+            network_factory,
+            backend,
+            transport_factory,
+        ),
     ) as pool:
         futures = [
             pool.submit(
@@ -233,6 +256,8 @@ def _run_sequentially(
     n: int,
     max_cycles: int,
     network_factory: NetworkFactory,
+    backend: str = "sync",
+    transport_factory: Optional[TransportFactory] = None,
 ) -> CellResult:
     return _runner.run_cell(
         instances,
@@ -243,4 +268,6 @@ def _run_sequentially(
         max_cycles=max_cycles,
         network_factory=network_factory,
         workers=1,
+        backend=backend,
+        transport_factory=transport_factory,
     )

@@ -45,9 +45,15 @@ SIMULATED_DIRS = ("algorithms/", "problems/", "runtime/")
 #: The one module allowed to own the process-global `random` module.
 RANDOM_SOURCE_MODULE = "runtime/random_source.py"
 
-#: Modules allowed to read the wall clock: the simulator's sim_time /
-#: wall_time accounting (observational — the values never feed a decision).
-WALL_CLOCK_ALLOWLIST = ("runtime/simulator.py",)
+#: Modules allowed to read the wall clock: the simulators' sim_time /
+#: wall_time accounting (observational — the values never feed a simulated
+#: decision), and the socket transport, whose whole point is wall-clock
+#: concurrency (its results are documented as non-deterministic).
+WALL_CLOCK_ALLOWLIST = (
+    "runtime/simulator.py",
+    "runtime/events/engine.py",
+    "runtime/events/socket_transport.py",
+)
 
 #: `random` module functions that touch the hidden global Mersenne state.
 #: (`Random` is the seedable class and is exactly what code *should* use.)

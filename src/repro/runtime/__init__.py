@@ -23,6 +23,13 @@ from .network import (
     RandomDelayNetwork,
     SynchronousNetwork,
 )
+from .events import (
+    EventDrivenSimulator,
+    InProcessTransport,
+    InProcessTransportFactory,
+    UniformLatency,
+    UnitLatency,
+)
 from .random_source import derive_rng, derive_seed
 from .simulator import DEFAULT_MAX_CYCLES, RunResult, SynchronousSimulator
 from .termination import (
@@ -35,9 +42,12 @@ from .trace import MessageEvent, TraceRecorder, ValueChangeEvent
 
 __all__ = [
     "DEFAULT_MAX_CYCLES",
+    "EventDrivenSimulator",
     "FixedDelayNetwork",
     "GlobalSolutionDetector",
     "IncrementalSolutionDetector",
+    "InProcessTransport",
+    "InProcessTransportFactory",
     "LossyNetwork",
     "MessageEvent",
     "ImproveMessage",
@@ -56,6 +66,8 @@ __all__ = [
     "SynchronousNetwork",
     "SynchronousSimulator",
     "TraceRecorder",
+    "UniformLatency",
+    "UnitLatency",
     "ValueChangeEvent",
     "collect_assignment",
     "derive_rng",

@@ -50,6 +50,19 @@ class SimulatedAgent(ABC):
     def local_assignment(self) -> Dict[VariableId, Value]:
         """The agent's current values for the variables it owns."""
 
+    def has_pending_work(self) -> bool:
+        """True when the agent needs another step even without new mail.
+
+        The synchronous simulator steps every agent every cycle, so an
+        agent with leftover internal work (e.g. the multi-variable AWC
+        agent's intra-round carryover queue) is always revisited. The
+        event-driven engine activates agents only on message arrival;
+        agents that buffer work across steps must override this so the
+        engine schedules a wakeup at the next timestamp. The default is
+        False: for agents whose ``step([])`` is a no-op, nothing is owed.
+        """
+        return False
+
     def fail_unsolvable(self, message: str = "") -> None:
         """Record that this agent proved the problem unsolvable."""
         self.failure = UnsolvableError(self.id, message)

@@ -1,0 +1,41 @@
+"""Discrete-event asynchronous runtime with pluggable transports.
+
+The second execution backend next to the synchronous cycle simulator
+(:mod:`repro.runtime.simulator`): a seeded discrete-event engine that
+activates agents only when mail arrives, with the message medium behind a
+small :class:`~repro.runtime.events.transport.Transport` protocol — a
+deterministic in-process priority-queue transport (the default; with unit
+latency it reproduces the synchronous simulator trial-for-trial) and a
+multiprocess socket transport for genuinely concurrent agents. See the
+module docstrings of :mod:`~repro.runtime.events.engine` and
+:mod:`~repro.runtime.events.socket_transport` for the execution and
+metrics semantics, and ``EXPERIMENTS.md`` for how the logical-time
+measures relate to the paper's ``cycle``/``maxcck``.
+"""
+
+from .engine import ACTIVATION_MODES, EventDrivenSimulator
+from .socket_transport import run_socket_trial
+from .transport import (
+    Delivery,
+    InProcessTransport,
+    InProcessTransportFactory,
+    LatencyModel,
+    Transport,
+    TransportFactory,
+    UniformLatency,
+    UnitLatency,
+)
+
+__all__ = [
+    "ACTIVATION_MODES",
+    "Delivery",
+    "EventDrivenSimulator",
+    "InProcessTransport",
+    "InProcessTransportFactory",
+    "LatencyModel",
+    "Transport",
+    "TransportFactory",
+    "UniformLatency",
+    "UnitLatency",
+    "run_socket_trial",
+]

@@ -68,6 +68,11 @@ class RunResult:
     #: simulation cost proper, comparable across traced and untraced runs.
     sim_time: float = 0.0
     max_history: List[int] = field(default_factory=list)
+    #: The logical timestamp at which the run ended. For the synchronous
+    #: backend this equals ``cycles``; for the event-driven backend it is
+    #: the last epoch's timestamp, which grows faster than ``cycles`` under
+    #: random message latency (see :mod:`repro.runtime.events`).
+    logical_time: int = 0
 
     @property
     def finished(self) -> bool:
@@ -178,6 +183,7 @@ class SynchronousSimulator:
             wall_time=wall_time,
             sim_time=wall_time - self._tracer_seconds,
             max_history=list(self.metrics.max_history),
+            logical_time=self.metrics.cycles,
         )
 
     # -- internals -------------------------------------------------------------

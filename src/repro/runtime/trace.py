@@ -11,10 +11,14 @@ alters delivery, ordering, or cost accounting — and is off by default
 
 from __future__ import annotations
 
+import dataclasses
+import json
 from collections import Counter
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Tuple, Union
 
+from ..core.nogood import Nogood
 from ..core.problem import AgentId
 from ..core.variables import Value, VariableId
 from .messages import Message
@@ -115,6 +119,60 @@ class TraceRecorder:
         counts: Counter = Counter(event.sender for event in self.messages)
         return counts.most_common(top)
 
+    def to_jsonl_records(self) -> Iterator[Dict[str, Any]]:
+        """The merged event log as JSON-safe dicts, in cycle order.
+
+        Message events carry ``event: "message"``, the message's type name
+        as ``kind``, and its fields flattened JSON-safe (nogoods become
+        sorted ``[variable, value]`` pair lists). Value changes carry
+        ``event: "value_change"``. A final ``event: "summary"`` record
+        reports totals and the drop count, so a truncated trace is
+        detectable from the file alone.
+        """
+        merged: List[Union[MessageEvent, ValueChangeEvent]] = sorted(
+            self.messages + self.changes, key=lambda event: event.cycle
+        )
+        for event in merged:
+            if isinstance(event, MessageEvent):
+                yield {
+                    "event": "message",
+                    "cycle": event.cycle,
+                    "sender": event.sender,
+                    "recipient": event.recipient,
+                    "kind": type(event.message).__name__,
+                    **{
+                        field.name: _json_safe(
+                            getattr(event.message, field.name)
+                        )
+                        for field in dataclasses.fields(event.message)
+                    },
+                }
+            else:
+                yield {
+                    "event": "value_change",
+                    "cycle": event.cycle,
+                    "variable": event.variable,
+                    "old_value": _json_safe(event.old_value),
+                    "new_value": _json_safe(event.new_value),
+                }
+        yield {
+            "event": "summary",
+            "messages": len(self.messages),
+            "value_changes": len(self.changes),
+            "dropped": self.dropped,
+        }
+
+    def write_jsonl(self, path: Union[str, Path]) -> int:
+        """Write the event log to *path* as JSON Lines; returns the record
+        count (including the trailing summary record)."""
+        count = 0
+        with open(path, "w", encoding="utf-8") as handle:
+            for record in self.to_jsonl_records():
+                handle.write(json.dumps(record, sort_keys=True))
+                handle.write("\n")
+                count += 1
+        return count
+
     def render(self, limit: int = 200) -> str:
         """The merged event log as text (first *limit* events)."""
         merged = sorted(
@@ -133,3 +191,23 @@ class TraceRecorder:
             f"TraceRecorder({len(self.messages)} messages, "
             f"{len(self.changes)} value changes)"
         )
+
+
+def _json_safe(value: Any) -> Any:
+    """A JSON-serializable rendering of a message field value.
+
+    Nogoods have no natural JSON form (a frozenset of pairs), so they
+    become sorted ``[variable, value]`` lists — deterministic, hence
+    diffable across runs.
+    """
+    if isinstance(value, Nogood):
+        return sorted([variable, value_] for variable, value_ in value.pairs)
+    if isinstance(value, (frozenset, set)):
+        return sorted(_json_safe(item) for item in value)
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(item) for item in value]
+    if isinstance(value, dict):
+        return {str(key): _json_safe(item) for key, item in value.items()}
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    return repr(value)

@@ -12,6 +12,9 @@ import random
 import hypothesis.strategies as st
 from hypothesis import given, settings
 
+from repro.algorithms.registry import algorithm_by_name
+from repro.experiments.runner import run_trial
+from repro.problems.coloring import random_coloring_instance
 from repro.runtime.messages import OkMessage
 from repro.runtime.network import (
     FixedDelayNetwork,
@@ -82,3 +85,66 @@ class TestConservation:
             network.deliver()
         assert network.delivered_count == len(traffic)
         assert network.pending() == 0
+
+
+def channel_order(network, count=30):
+    """Send *count* numbered messages down one channel; return the arrival
+    order of their sequence numbers."""
+    for index in range(count):
+        network.send(0, 1, OkMessage(0, 0, index, 0))
+    order = []
+    while not network.is_idle():
+        for message in network.deliver().get(1, []):
+            order.append(message.value)
+    return order
+
+
+class TestReordering:
+    """``fifo=False`` is advertised as real reordering — prove it happens.
+
+    A same-channel overtake is a pair delivered out of send order. With
+    FIFO on it must never occur; with FIFO off it must actually occur for
+    some seed, otherwise the "reorder" rows of the asynchrony table would
+    silently measure plain random delay.
+    """
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=60, deadline=None)
+    def test_fifo_never_reorders_a_channel(self, seed):
+        network = RandomDelayNetwork(
+            max_delay=4, rng=random.Random(seed), fifo=True
+        )
+        order = channel_order(network)
+        assert order == sorted(order)
+
+    def test_no_fifo_overtakes_on_some_seed(self):
+        overtakes = 0
+        for seed in range(50):
+            network = RandomDelayNetwork(
+                max_delay=4, rng=random.Random(seed), fifo=False
+            )
+            order = channel_order(network)
+            if order != sorted(order):
+                overtakes += 1
+        # With 30 messages and delays in 1..4, almost every seed reorders;
+        # demand a solid majority so a FIFO regression cannot hide.
+        assert overtakes > 25
+
+    def test_awc_resolvent_solves_under_reordering(self):
+        problem = random_coloring_instance(12, seed=8).to_discsp()
+        algorithm = algorithm_by_name("AWC+Rslv")
+        solved = 0
+        for seed in range(3):
+            result = run_trial(
+                problem,
+                algorithm,
+                seed,
+                max_cycles=5000,
+                network_factory=lambda s: RandomDelayNetwork(
+                    max_delay=4, seed=s, fifo=False
+                ),
+            )
+            if result.solved:
+                assert problem.is_solution(result.assignment)
+                solved += 1
+        assert solved == 3

@@ -1,0 +1,43 @@
+"""The multiprocess socket transport: genuinely concurrent agents.
+
+These runs cross real process and socket boundaries, so nothing here
+asserts determinism — only correctness (solutions verify) and the NCCC
+accounting invariants. Kept small: one process per agent is expensive.
+"""
+
+import pytest
+
+from repro.core.exceptions import SimulationError
+from repro.problems.coloring import random_coloring_instance
+from repro.runtime.events import run_socket_trial
+
+
+@pytest.mark.slow
+class TestSocketTrial:
+    def test_solves_coloring_and_verifies(self):
+        problem = random_coloring_instance(12, seed=8).to_discsp()
+        result = run_socket_trial(
+            problem, "AWC+Rslv", seed=3, timeout=120.0
+        )
+        assert result.solved
+        assert problem.is_solution(result.assignment)
+        # NCCC is a max over per-agent Lamport clocks, so it can never
+        # exceed the total work performed.
+        assert 0 < result.maxcck <= result.total_checks
+        assert result.messages_sent > 0
+
+    def test_unsolvable_detected(self, triangle_2col):
+        result = run_socket_trial(
+            triangle_2col, "AWC+Rslv", seed=1, timeout=120.0
+        )
+        assert result.unsolvable and not result.solved
+
+
+class TestValidation:
+    def test_requires_two_agents(self):
+        problem = random_coloring_instance(12, seed=8).to_discsp()
+        single = problem.__class__(
+            problem.csp, {variable: 0 for variable in problem.variables}
+        )
+        with pytest.raises(SimulationError, match="at least two"):
+            run_socket_trial(single, "AWC+Rslv", seed=0)

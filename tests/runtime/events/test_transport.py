@@ -1,0 +1,125 @@
+"""The in-process transport: ordering, FIFO clamp, latency models."""
+
+import pickle
+
+import pytest
+
+from repro.core.exceptions import SimulationError
+from repro.runtime.events.transport import (
+    InProcessTransport,
+    InProcessTransportFactory,
+    UniformLatency,
+    UnitLatency,
+)
+from repro.runtime.messages import OkMessage
+
+
+def ok(sender, value=0):
+    return OkMessage(sender=sender, variable=sender, value=value)
+
+
+class FixedLatency:
+    """Test double: a scripted per-send delay sequence."""
+
+    def __init__(self, delays):
+        self._delays = list(delays)
+
+    def delay(self, sender, recipient):
+        return self._delays.pop(0)
+
+
+class TestInProcessTransport:
+    def test_unit_latency_delivers_next_timestamp(self):
+        transport = InProcessTransport()
+        transport.send(0, 1, ok(0), now=5)
+        assert transport.next_time() == 6
+        [delivery] = transport.pop_due(6)
+        assert (delivery.time, delivery.sender, delivery.recipient) == (
+            6, 0, 1,
+        )
+        assert transport.next_time() is None
+
+    def test_ties_broken_by_send_sequence(self):
+        transport = InProcessTransport()
+        for value in range(5):
+            transport.send(0, 1, ok(0, value=value), now=0)
+        due = transport.pop_due(1)
+        assert [d.message.value for d in due] == list(range(5))
+
+    def test_fifo_clamp_prevents_same_channel_overtaking(self):
+        transport = InProcessTransport(
+            latency=FixedLatency([10, 1]), fifo=True
+        )
+        transport.send(0, 1, ok(0, value=0), now=0)
+        transport.send(0, 1, ok(0, value=1), now=0)
+        # The second message's draw (1) would overtake; the clamp holds it
+        # back to the first's arrival.
+        assert [d.time for d in transport.pop_due(10)] == [10, 10]
+
+    def test_no_fifo_allows_overtaking(self):
+        transport = InProcessTransport(
+            latency=FixedLatency([10, 1]), fifo=False
+        )
+        transport.send(0, 1, ok(0, value=0), now=0)
+        transport.send(0, 1, ok(0, value=1), now=0)
+        due = transport.pop_due(10)
+        assert [d.message.value for d in due] == [1, 0]
+
+    def test_distinct_channels_do_not_clamp_each_other(self):
+        transport = InProcessTransport(
+            latency=FixedLatency([10, 1]), fifo=True
+        )
+        transport.send(0, 1, ok(0), now=0)
+        transport.send(2, 1, ok(2), now=0)
+        assert transport.next_time() == 1
+
+    def test_self_send_rejected(self):
+        transport = InProcessTransport()
+        with pytest.raises(SimulationError, match="itself"):
+            transport.send(1, 1, ok(1), now=0)
+
+    def test_non_positive_delay_rejected(self):
+        transport = InProcessTransport(latency=FixedLatency([0]))
+        with pytest.raises(SimulationError, match="non-positive"):
+            transport.send(0, 1, ok(0), now=0)
+
+    def test_counters(self):
+        transport = InProcessTransport()
+        transport.send(0, 1, ok(0), now=0)
+        transport.send(1, 0, ok(1), now=0)
+        assert (transport.sent_count, transport.pending()) == (2, 2)
+        transport.pop_due(1)
+        assert (transport.delivered_count, transport.pending()) == (2, 0)
+
+
+class TestLatencyModels:
+    def test_unit_latency_is_one(self):
+        assert UnitLatency().delay(0, 1) == 1
+
+    def test_uniform_latency_range_and_reproducibility(self):
+        first = UniformLatency(max_delay=4, seed=7)
+        second = UniformLatency(max_delay=4, seed=7)
+        draws = [first.delay(0, 1) for _ in range(50)]
+        assert draws == [second.delay(0, 1) for _ in range(50)]
+        assert all(1 <= d <= 4 for d in draws)
+        assert len(set(draws)) > 1
+
+    def test_uniform_latency_rejects_zero(self):
+        with pytest.raises(SimulationError):
+            UniformLatency(max_delay=0)
+
+
+class TestFactory:
+    def test_default_is_parity_mode(self):
+        transport = InProcessTransportFactory()(seed=3)
+        assert isinstance(transport.latency, UnitLatency)
+        assert transport.fifo
+
+    def test_delay_selects_uniform(self):
+        transport = InProcessTransportFactory(max_delay=4, fifo=False)(seed=3)
+        assert isinstance(transport.latency, UniformLatency)
+        assert not transport.fifo
+
+    def test_factory_pickles(self):
+        factory = InProcessTransportFactory(max_delay=4)
+        assert pickle.loads(pickle.dumps(factory)) == factory

@@ -1,14 +1,23 @@
 """Smoke benchmark for the trial-execution engine.
 
-Runs a fixed quick-scale grid of table cells twice — sequentially and
-through the parallel engine — verifies the results are identical, and
-writes ``BENCH_trial_engine.json`` with wall times, the parallel speedup,
-and nogood-check throughput. Later PRs re-run this to track the perf
-trajectory of the experiment hot path.
+Runs a fixed quick-scale grid of table cells twice along one axis,
+verifies the results are identical, and writes a JSON report with wall
+times, the speedup, and nogood-check throughput. Later PRs re-run this to
+track the perf trajectory of the experiment hot path.
+
+Two axes:
+
+* ``--axis workers`` (default) — sequential vs the parallel engine;
+  writes ``BENCH_trial_engine.json``.
+* ``--axis backend`` — the synchronous cycle simulator vs the
+  discrete-event engine in parity mode; identical results are the parity
+  guarantee, the wall-time ratio is the event loop's overhead. Writes
+  ``BENCH_event_engine.json``.
 
 Usage::
 
-    PYTHONPATH=src python tools/bench_smoke.py [--jobs N] [--output PATH]
+    PYTHONPATH=src python tools/bench_smoke.py [--axis workers|backend]
+        [--jobs N] [--output PATH]
 
 The grid is deliberately small (quick-scale sizes, a few seconds per leg)
 so CI can afford it; the JSON records the machine's core count, so a
@@ -68,7 +77,7 @@ def cell_measures(cell):
     ]
 
 
-def run_grid(workers: int):
+def run_grid(workers: int, backend: str = "sync"):
     """One pass over the grid; returns (per-cell rows, totals)."""
     rows = []
     total_seconds = 0.0
@@ -87,6 +96,7 @@ def run_grid(workers: int):
                 n=n,
                 max_cycles=MAX_CYCLES,
                 workers=workers,
+                backend=backend,
             )
         else:
             cell = run_cell(
@@ -97,6 +107,7 @@ def run_grid(workers: int):
                 n=n,
                 max_cycles=MAX_CYCLES,
                 workers=1,
+                backend=backend,
             )
         elapsed = time.perf_counter() - started
         checks = sum(trial.total_checks for trial in cell.trials)
@@ -131,43 +142,84 @@ def run_grid(workers: int):
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
+        "--axis",
+        choices=("workers", "backend"),
+        default="workers",
+        help="what to compare: sequential vs parallel execution, or the "
+        "sync vs event-driven engines (both legs sequential)",
+    )
+    parser.add_argument(
         "--jobs",
         type=int,
         default=None,
-        help="workers for the parallel leg (default: min(4, cores))",
+        help="workers for the parallel leg of --axis workers "
+        "(default: min(4, cores))",
     )
     parser.add_argument(
         "--output",
-        default=str(
-            Path(__file__).resolve().parent.parent / "BENCH_trial_engine.json"
-        ),
-        help="where to write the JSON report",
+        default=None,
+        help="where to write the JSON report (default: "
+        "BENCH_trial_engine.json / BENCH_event_engine.json by axis)",
     )
     args = parser.parse_args(argv)
     cores = os.cpu_count() or 1
     jobs = args.jobs if args.jobs is not None else min(4, cores)
+    repo_root = Path(__file__).resolve().parent.parent
 
-    print(f"bench_smoke: {len(GRID)} cells, sequential vs {jobs} workers "
-          f"({cores} cores available)")
-    sequential_rows, sequential_totals = run_grid(workers=1)
-    parallel_rows, parallel_totals = run_grid(workers=jobs)
+    if args.axis == "backend":
+        output = args.output or str(repo_root / "BENCH_event_engine.json")
+        print(
+            f"bench_smoke: {len(GRID)} cells, sync simulator vs "
+            "event-driven engine (parity mode, sequential)"
+        )
+        baseline_name, candidate_name = "sync", "events"
+        baseline_rows, baseline_totals = run_grid(workers=1, backend="sync")
+        candidate_rows, candidate_totals = run_grid(
+            workers=1, backend="events"
+        )
+        benchmark = "event_engine_smoke"
+        diverge_message = "event-driven results diverge from sync (parity)"
+        note = (
+            "both legs are sequential; identical results are the parity "
+            "guarantee of the unit-latency event engine, and the speedup "
+            "(sync wall time / events wall time) is the discrete-event "
+            "loop's overhead relative to lockstep cycles"
+        )
+        extra = {}
+    else:
+        output = args.output or str(repo_root / "BENCH_trial_engine.json")
+        print(
+            f"bench_smoke: {len(GRID)} cells, sequential vs {jobs} workers "
+            f"({cores} cores available)"
+        )
+        baseline_name, candidate_name = "sequential", "parallel"
+        baseline_rows, baseline_totals = run_grid(workers=1)
+        candidate_rows, candidate_totals = run_grid(workers=jobs)
+        benchmark = "trial_engine_smoke"
+        diverge_message = "parallel results diverge from sequential"
+        note = (
+            "speedup is bounded by physical cores: with "
+            f"{cores} core(s) available, {jobs} workers can at best "
+            f"approach {min(jobs, cores)}x minus pool overhead"
+        )
+        extra = {"workers": jobs}
 
     mismatches = [
         f"{s['family']}-n{s['n']}-{s['algorithm']}"
-        for s, p in zip(sequential_rows, parallel_rows)
+        for s, p in zip(baseline_rows, candidate_rows)
         if cell_measures(s.pop("cell")) != cell_measures(p.pop("cell"))
     ]
     if mismatches:
-        print(f"FATAL: parallel results diverge from sequential: {mismatches}")
+        print(f"FATAL: {diverge_message}: {mismatches}")
         return 1
 
     speedup = (
-        sequential_totals["wall_seconds"] / parallel_totals["wall_seconds"]
-        if parallel_totals["wall_seconds"]
+        baseline_totals["wall_seconds"] / candidate_totals["wall_seconds"]
+        if candidate_totals["wall_seconds"]
         else 0.0
     )
     report = {
-        "benchmark": "trial_engine_smoke",
+        "benchmark": benchmark,
         "grid": [
             {
                 "family": family,
@@ -185,26 +237,22 @@ def main(argv=None) -> int:
             "platform": platform.platform(),
             "python": platform.python_version(),
         },
-        "workers": jobs,
-        "sequential": {"cells": sequential_rows, "totals": sequential_totals},
-        "parallel": {"cells": parallel_rows, "totals": parallel_totals},
+        **extra,
+        baseline_name: {"cells": baseline_rows, "totals": baseline_totals},
+        candidate_name: {"cells": candidate_rows, "totals": candidate_totals},
         "speedup": round(speedup, 3),
         "results_identical": True,
-        "note": (
-            "speedup is bounded by physical cores: with "
-            f"{cores} core(s) available, {jobs} workers can at best "
-            f"approach {min(jobs, cores)}x minus pool overhead"
-        ),
+        "note": note,
     }
-    Path(args.output).write_text(json.dumps(report, indent=2) + "\n")
+    Path(output).write_text(json.dumps(report, indent=2) + "\n")
     print(
-        f"sequential {sequential_totals['wall_seconds']:.2f}s "
-        f"({sequential_totals['checks_per_second']:,} checks/s), "
-        f"parallel[{jobs}] {parallel_totals['wall_seconds']:.2f}s "
-        f"({parallel_totals['checks_per_second']:,} checks/s), "
+        f"{baseline_name} {baseline_totals['wall_seconds']:.2f}s "
+        f"({baseline_totals['checks_per_second']:,} checks/s), "
+        f"{candidate_name} {candidate_totals['wall_seconds']:.2f}s "
+        f"({candidate_totals['checks_per_second']:,} checks/s), "
         f"speedup {speedup:.2f}x"
     )
-    print(f"wrote {args.output}")
+    print(f"wrote {output}")
     return 0
 
 
