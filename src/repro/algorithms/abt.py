@@ -28,12 +28,15 @@ exercised by the extension benchmarks.
 from __future__ import annotations
 
 import random
-from typing import List, Optional, Sequence, Set
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Set
 
 from ..core.assignment import AgentView
 from ..core.nogood import Nogood
 from ..core.problem import AgentId, DisCSP
-from ..core.variables import Value
+from ..core.variables import Value, VariableId
+
+if TYPE_CHECKING:  # the builder imports derive_rng lazily at runtime
+    from ..runtime.random_source import Seed
 from ..runtime.messages import (
     Message,
     NogoodMessage,
@@ -238,8 +241,8 @@ class AbtAgent(SingleVariableAgent):
 
 def build_abt_agents(
     problem: DisCSP,
-    seed,
-    initial_assignment=None,
+    seed: "Seed",
+    initial_assignment: Optional[Dict[VariableId, Value]] = None,
     learning: str = "view",
 ) -> List[AbtAgent]:
     """Build one ABT agent per agent id of *problem*."""

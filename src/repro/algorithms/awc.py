@@ -28,12 +28,12 @@ variants.
 from __future__ import annotations
 
 import random
-from typing import List, Optional, Sequence, Set
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Set
 
 from ..core.assignment import AgentView
 from ..core.nogood import Nogood
 from ..core.problem import AgentId, DisCSP
-from ..core.variables import Value
+from ..core.variables import Value, VariableId
 from ..learning.base import DeadendContext, LearningMethod
 from ..runtime.messages import (
     Message,
@@ -44,6 +44,9 @@ from ..runtime.messages import (
 )
 from ..runtime.metrics import MetricsCollector
 from .base import SingleVariableAgent, argmin_with_ties
+
+if TYPE_CHECKING:  # the builder imports derive_rng lazily at runtime
+    from ..runtime.random_source import Seed
 
 
 class AwcAgent(SingleVariableAgent):
@@ -57,7 +60,7 @@ class AwcAgent(SingleVariableAgent):
         metrics: MetricsCollector,
         rng: random.Random,
         initial_value: Optional[Value] = None,
-        variable=None,
+        variable: Optional[VariableId] = None,
     ) -> None:
         super().__init__(agent_id, problem, rng, initial_value, variable)
         self.learning = learning
@@ -249,8 +252,8 @@ def build_awc_agents(
     problem: DisCSP,
     learning: LearningMethod,
     metrics: MetricsCollector,
-    seed,
-    initial_assignment=None,
+    seed: "Seed",
+    initial_assignment: Optional[Dict[VariableId, Value]] = None,
 ) -> List[AwcAgent]:
     """Build one AWC agent per agent id of *problem*.
 

@@ -8,7 +8,7 @@ variable lookup, initial local nogoods, recipients bookkeeping).
 from __future__ import annotations
 
 import random
-from typing import Callable, Iterable, List, Optional, TypeVar
+from typing import Callable, Dict, Iterable, List, Optional, TypeVar
 
 from ..core.exceptions import ModelError
 from ..core.problem import AgentId, DisCSP
@@ -115,7 +115,7 @@ class SingleVariableAgent(SimulatedAgent):
         """The agent owning *variable* (used to route requests and nogoods)."""
         return self.problem.owner_of(variable)
 
-    def local_assignment(self):
+    def local_assignment(self) -> Dict[VariableId, Value]:
         return {self.variable: self.value}
 
     def sorted_recipients(self) -> List[AgentId]:

@@ -28,13 +28,13 @@ beats it on ``cycle`` while DB, which never accumulates nogoods, wins on
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 from ..core.assignment import AgentView
 from ..core.exceptions import ModelError
 from ..core.nogood import Nogood
 from ..core.problem import AgentId, DisCSP
-from ..core.variables import Value
+from ..core.variables import Value, VariableId
 from ..runtime.messages import (
     ImproveMessage,
     Message,
@@ -42,6 +42,9 @@ from ..runtime.messages import (
     Outgoing,
 )
 from .base import SingleVariableAgent
+
+if TYPE_CHECKING:  # the builder imports derive_rng lazily at runtime
+    from ..runtime.random_source import Seed
 
 #: Weighting modes: this paper's per-nogood weights, or the original DB's
 #: per-variable-pair weights.
@@ -209,8 +212,8 @@ class BreakoutAgent(SingleVariableAgent):
 
 def build_breakout_agents(
     problem: DisCSP,
-    seed,
-    initial_assignment=None,
+    seed: "Seed",
+    initial_assignment: Optional[Dict[VariableId, Value]] = None,
     weight_mode: str = "nogood",
 ) -> List[BreakoutAgent]:
     """Build one DB agent per agent id of *problem* (cf. build_awc_agents)."""

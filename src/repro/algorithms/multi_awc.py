@@ -24,7 +24,7 @@ agents.
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence
 
 from ..core.exceptions import ModelError
 from ..core.problem import AgentId, DisCSP
@@ -41,6 +41,9 @@ from ..runtime.messages import (
 from ..runtime.metrics import MetricsCollector
 from .awc import AwcAgent
 
+if TYPE_CHECKING:  # the builder imports derive_rng lazily at runtime
+    from ..runtime.random_source import Seed
+
 #: Default bound on intra-agent message rounds within one cycle.
 DEFAULT_INTRA_ROUND_CAP = 50
 
@@ -54,7 +57,7 @@ class MultiVariableAwcAgent(SimulatedAgent):
         problem: DisCSP,
         learning: LearningMethod,
         metrics: MetricsCollector,
-        rng_factory,
+        rng_factory: Callable[[VariableId], random.Random],
         initial_assignment: Optional[Dict[VariableId, Value]] = None,
         intra_round_cap: int = DEFAULT_INTRA_ROUND_CAP,
     ) -> None:
@@ -177,7 +180,7 @@ def build_multi_awc_agents(
     problem: DisCSP,
     learning: LearningMethod,
     metrics: MetricsCollector,
-    seed,
+    seed: "Seed",
     initial_assignment: Optional[Dict[VariableId, Value]] = None,
     intra_round_cap: int = DEFAULT_INTRA_ROUND_CAP,
 ) -> List[MultiVariableAwcAgent]:
@@ -187,7 +190,9 @@ def build_multi_awc_agents(
     agents = []
     for agent_id in problem.agents:
 
-        def rng_factory(variable: VariableId, _agent=agent_id) -> random.Random:
+        def rng_factory(
+            variable: VariableId, _agent: AgentId = agent_id
+        ) -> random.Random:
             return derive_rng(seed, "multi-awc", _agent, variable)
 
         agents.append(

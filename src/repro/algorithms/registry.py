@@ -10,7 +10,7 @@ configuration.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, Optional, Sequence
 
 from ..core.exceptions import ModelError
 from ..core.problem import DisCSP
@@ -18,6 +18,7 @@ from ..core.variables import Value, VariableId
 from ..learning import LearningMethod, learning_method
 from ..runtime.agent import SimulatedAgent
 from ..runtime.metrics import MetricsCollector
+from ..runtime.random_source import Seed
 from .abt import build_abt_agents
 from .awc import build_awc_agents
 from .breakout import build_breakout_agents
@@ -25,9 +26,11 @@ from .breakout import build_breakout_agents
 #: initial values per variable (or None to let each agent draw its own).
 InitialAssignment = Optional[Dict[VariableId, Value]]
 
+#: The sequence return is covariant, so builders may return their concrete
+#: agent lists (List[AwcAgent], ...) without a cast.
 Builder = Callable[
-    [DisCSP, MetricsCollector, object, InitialAssignment],
-    List[SimulatedAgent],
+    [DisCSP, MetricsCollector, Seed, InitialAssignment],
+    Sequence[SimulatedAgent],
 ]
 
 
@@ -50,7 +53,12 @@ def awc(learning: object = "Rslv") -> AlgorithmSpec:
         else learning_method(str(learning))
     )
 
-    def build(problem, metrics, seed, initial_assignment):
+    def build(
+        problem: DisCSP,
+        metrics: MetricsCollector,
+        seed: Seed,
+        initial_assignment: InitialAssignment,
+    ) -> Sequence[SimulatedAgent]:
         return build_awc_agents(
             problem, method, metrics, seed, initial_assignment
         )
@@ -61,7 +69,12 @@ def awc(learning: object = "Rslv") -> AlgorithmSpec:
 def db(weight_mode: str = "nogood") -> AlgorithmSpec:
     """The distributed breakout algorithm."""
 
-    def build(problem, metrics, seed, initial_assignment):
+    def build(
+        problem: DisCSP,
+        metrics: MetricsCollector,
+        seed: Seed,
+        initial_assignment: InitialAssignment,
+    ) -> Sequence[SimulatedAgent]:
         del metrics  # DB generates no nogoods
         return build_breakout_agents(
             problem, seed, initial_assignment, weight_mode=weight_mode
@@ -78,7 +91,12 @@ def abt(learning: str = "view") -> AlgorithmSpec:
     applies the paper's Section 3 rule inside ABT instead.
     """
 
-    def build(problem, metrics, seed, initial_assignment):
+    def build(
+        problem: DisCSP,
+        metrics: MetricsCollector,
+        seed: Seed,
+        initial_assignment: InitialAssignment,
+    ) -> Sequence[SimulatedAgent]:
         del metrics
         return build_abt_agents(
             problem, seed, initial_assignment, learning=learning

@@ -326,8 +326,14 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         forwarded.append("--list-rules")
     if args.format != "text":
         forwarded += ["--format", args.format]
+    if args.output:
+        forwarded += ["--output", args.output]
     for pattern in args.exclude or ():
         forwarded += ["--exclude", pattern]
+    if args.check_trace:
+        forwarded += ["--check-trace", args.check_trace]
+    if args.no_fifo_check:
+        forwarded.append("--no-fifo-check")
     return lint_main(forwarded)
 
 
@@ -471,8 +477,13 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("--baseline", default=None)
     lint.add_argument("--write-baseline", action="store_true")
     lint.add_argument("--list-rules", action="store_true")
-    lint.add_argument("--format", choices=("text", "json"), default="text")
+    lint.add_argument(
+        "--format", choices=("text", "json", "sarif"), default="text"
+    )
+    lint.add_argument("--output", default=None, metavar="FILE")
     lint.add_argument("--exclude", action="append", default=None)
+    lint.add_argument("--check-trace", default=None, metavar="JSONL")
+    lint.add_argument("--no-fifo-check", action="store_true")
     lint.set_defaults(func=_cmd_lint)
 
     return parser

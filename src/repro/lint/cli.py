@@ -1,13 +1,14 @@
 """The repro-lint command line: ``python -m repro.lint`` / ``repro lint``.
 
 Exit status: 0 when the tree is clean (after suppressions and baseline),
-1 when any finding remains, 2 on usage errors. CI gates on this.
+1 when any finding remains, 2 on usage errors. CI gates on this — the
+contract is identical across every ``--format`` (text, json, sarif) and
+for ``--check-trace``.
 """
 
 from __future__ import annotations
 
 import argparse
-import json
 import os
 import sys
 from typing import List, Optional
@@ -19,16 +20,19 @@ from .engine import (
     lint_paths,
     load_baseline,
 )
-from .rules import ALL_RULES
+from .catalogue import ALL_RULES
+from .output import to_json, to_sarif_text
+from .trace_check import check_trace_file
 
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-lint",
         description=(
-            "AST-based invariant checker: determinism (D1-D3), agent "
-            "isolation (P1), metric accounting (M1). See CONTRIBUTING.md "
-            "for the rule catalogue."
+            "Whole-program invariant checker: determinism (D1-D4), agent "
+            "isolation (P1/P2), protocol conformance (A1/A2), metric "
+            "accounting (M1), plus trace cross-validation "
+            "(--check-trace). See CONTRIBUTING.md for the rule catalogue."
         ),
     )
     parser.add_argument(
@@ -62,9 +66,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
         help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--output",
+        default=None,
+        metavar="FILE",
+        help="write the formatted findings to FILE instead of stdout",
     )
     parser.add_argument(
         "--no-hints", action="store_true", help="omit fix hints"
@@ -72,11 +82,43 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--list-rules", action="store_true", help="print the rule catalogue"
     )
+    parser.add_argument(
+        "--check-trace",
+        default=None,
+        metavar="JSONL",
+        help=(
+            "validate a TraceRecorder JSONL file (clock monotonicity, "
+            "causal delivery, FIFO clamp, value chaining) instead of "
+            "linting source paths"
+        ),
+    )
+    parser.add_argument(
+        "--no-fifo-check",
+        action="store_true",
+        help=(
+            "with --check-trace: skip the FIFO-clamp invariant (for "
+            "traces recorded with fifo=False transports)"
+        ),
+    )
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.check_trace is not None:
+        violations = check_trace_file(
+            args.check_trace, fifo=not args.no_fifo_check
+        )
+        for violation in violations:
+            print(f"{args.check_trace}: {violation}")
+        if violations:
+            print(
+                f"\nrepro-lint: trace violates {len(violations)} runtime "
+                "invariant(s)."
+            )
+        else:
+            print("repro-lint: trace upholds every recorded invariant.")
+        return 1 if violations else 0
     if args.list_rules:
         for rule in ALL_RULES:
             doc = (rule.__doc__ or "").strip().splitlines()[0]
@@ -108,34 +150,32 @@ def main(argv: Optional[List[str]] = None) -> int:
     findings = lint_paths(args.paths, baseline=baseline, excludes=excludes)
 
     if args.format == "json":
-        print(
-            json.dumps(
-                [
-                    {
-                        "path": finding.path,
-                        "line": finding.line,
-                        "column": finding.column,
-                        "rule": finding.rule,
-                        "message": finding.message,
-                        "hint": finding.hint,
-                    }
-                    for finding in findings
-                ],
-                indent=2,
-            )
-        )
+        _emit(to_json(findings), args.output)
+    elif args.format == "sarif":
+        _emit(to_sarif_text(findings), args.output)
     else:
-        for finding in findings:
-            print(finding.format(show_hint=not args.no_hints))
+        lines = [
+            finding.format(show_hint=not args.no_hints)
+            for finding in findings
+        ]
         if findings:
-            print(
+            lines.append(
                 f"\nrepro-lint: {len(findings)} finding(s). Each one either "
                 "gets fixed, a justified '# repro-lint: disable=' comment, "
                 "or a baseline entry."
             )
         else:
-            print("repro-lint: clean.")
+            lines.append("repro-lint: clean.")
+        _emit("\n".join(lines), args.output)
     return 1 if findings else 0
+
+
+def _emit(text: str, output: Optional[str]) -> None:
+    if output is None:
+        print(text)
+    else:
+        with open(output, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
 
 
 if __name__ == "__main__":

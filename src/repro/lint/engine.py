@@ -22,8 +22,10 @@ import os
 from pathlib import Path
 from typing import Iterable, List, Optional, Sequence, Set
 
+from .catalogue import ALL_RULES, KNOWN_RULE_IDS
 from .findings import Finding
-from .rules import ALL_RULES, KNOWN_RULE_IDS, Rule
+from .graph import ProjectGraph
+from .rules import Rule
 from .suppressions import parse_suppressions
 
 #: Path patterns skipped by default: lint-rule fixtures contain deliberate
@@ -54,31 +56,44 @@ def lint_source(
     path: str,
     scope: Optional[str] = None,
     rules: Sequence[Rule] = ALL_RULES,
+    graph: Optional[ProjectGraph] = None,
 ) -> List[Finding]:
-    """Lint one file's text; *scope* overrides the path-derived scope."""
+    """Lint one file's text; *scope* overrides the path-derived scope.
+
+    When no *graph* is given a single-file graph is built on the fly, so
+    the whole-program rules still run (seeing only this file) — that is
+    what the fixture tests exercise. :func:`lint_paths` builds one shared
+    graph over every file of the run instead.
+    """
     suppressions = parse_suppressions(source, KNOWN_RULE_IDS)
     if scope is None:
         scope = suppressions.module_override or scope_of(path)
-    try:
-        tree = ast.parse(source, filename=path)
-    except SyntaxError as error:
-        return [
-            Finding(
-                path=path,
-                line=error.lineno or 1,
-                column=(error.offset or 0) or 1,
-                rule="X0",
-                message=f"file does not parse: {error.msg}",
-                hint="repro-lint needs valid Python to check invariants",
-                source="",
-            )
-        ]
+    if graph is None:
+        graph = ProjectGraph.build_from_sources([(path, source, scope)])
+    module = graph.module_at(path)
+    if module is not None:
+        tree = module.tree
+    else:
+        try:
+            tree = ast.parse(source, filename=path)
+        except SyntaxError as error:
+            return [
+                Finding(
+                    path=path,
+                    line=error.lineno or 1,
+                    column=(error.offset or 0) or 1,
+                    rule="X0",
+                    message=f"file does not parse: {error.msg}",
+                    hint="repro-lint needs valid Python to check invariants",
+                    source="",
+                )
+            ]
     lines = source.splitlines()
     findings: List[Finding] = []
     for rule in rules:
         if not rule.applies(scope):
             continue
-        for finding in rule.check(tree, path, scope, lines):
+        for finding in rule.check(tree, path, scope, lines, graph):
             if not suppressions.is_suppressed(finding.line, finding.rule):
                 findings.append(finding)
     for bad in suppressions.bad:
@@ -103,11 +118,15 @@ def lint_source(
     return findings
 
 
-def lint_file(path: str, rules: Sequence[Rule] = ALL_RULES) -> List[Finding]:
-    """Lint one file on disk."""
+def lint_file(
+    path: str,
+    rules: Sequence[Rule] = ALL_RULES,
+    graph: Optional[ProjectGraph] = None,
+) -> List[Finding]:
+    """Lint one file on disk (against *graph* when part of a larger run)."""
     with open(path, "r", encoding="utf-8") as handle:
         source = handle.read()
-    return lint_source(source, path, rules=rules)
+    return lint_source(source, path, rules=rules, graph=graph)
 
 
 def iter_python_files(
@@ -141,10 +160,19 @@ def lint_paths(
     excludes: Sequence[str] = DEFAULT_EXCLUDES,
     rules: Sequence[Rule] = ALL_RULES,
 ) -> List[Finding]:
-    """Lint every Python file under *paths*, minus baselined findings."""
+    """Lint every Python file under *paths*, minus baselined findings.
+
+    Builds the :class:`~repro.lint.graph.ProjectGraph` **once** over every
+    selected file and shares it across all rules and files — each file is
+    parsed a single time, and whole-program analyses (the RNG-factory
+    fixpoint) are memoised on the graph. This sharing is what keeps a
+    full-tree run inside the bench budget (see ``BENCH_lint.json``).
+    """
     findings: List[Finding] = []
-    for path in iter_python_files(paths, excludes):
-        findings.extend(lint_file(path, rules=rules))
+    files = iter_python_files(paths, excludes)
+    graph = ProjectGraph.build(files)
+    for path in files:
+        findings.extend(lint_file(path, rules=rules, graph=graph))
     if baseline:
         findings = [
             finding

@@ -1,0 +1,137 @@
+"""Machine-readable renderings of lint findings: JSON and SARIF.
+
+The JSON format is the CLI's stable scripting surface (a flat list of
+finding objects). SARIF 2.1.0 is what code-scanning UIs ingest — CI
+uploads it so findings annotate pull requests at the offending line. Both
+renderings are pure functions of the finding list, so the exit-code
+contract (0 clean / 1 findings / 2 usage) is unchanged by ``--format``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, List, Sequence
+
+from .catalogue import ALL_RULES
+from .findings import Finding
+
+#: Tool metadata stamped into every SARIF log.
+TOOL_NAME = "repro-lint"
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+
+def to_json(findings: Sequence[Finding]) -> str:
+    """The findings as a JSON array of flat objects."""
+    return json.dumps(
+        [
+            {
+                "path": finding.path,
+                "line": finding.line,
+                "column": finding.column,
+                "rule": finding.rule,
+                "message": finding.message,
+                "hint": finding.hint,
+                "source": finding.source,
+            }
+            for finding in findings
+        ],
+        indent=2,
+    )
+
+
+def to_sarif(findings: Sequence[Finding]) -> Dict[str, Any]:
+    """The findings as a SARIF 2.1.0 log (one run, one result per finding).
+
+    Rule metadata comes from the live catalogue so the SARIF rule index is
+    always in sync with the checker; partial fingerprints reuse the
+    baseline identity (rule + path + source text), which is stable across
+    line drift — exactly what code-scanning needs to track a finding
+    across pushes.
+    """
+    rule_ids = sorted({finding.rule for finding in findings})
+    known = {rule.id: rule for rule in ALL_RULES}
+    rules_metadata: List[Dict[str, Any]] = []
+    for rule_id in rule_ids:
+        rule = known.get(rule_id)
+        description = (
+            (rule.__doc__ or "").strip().splitlines()[0]
+            if rule is not None
+            else "malformed repro-lint control comment"
+        )
+        rules_metadata.append(
+            {
+                "id": rule_id,
+                "name": rule.title if rule is not None else "suppression hygiene",
+                "shortDescription": {"text": description},
+                "fullDescription": {
+                    "text": "See CONTRIBUTING.md, section 'repro-lint rule "
+                    "catalogue'."
+                },
+                "defaultConfiguration": {"level": "error"},
+            }
+        )
+    index_of = {rule_id: index for index, rule_id in enumerate(rule_ids)}
+    results: List[Dict[str, Any]] = []
+    for finding in findings:
+        message = finding.message
+        if finding.hint:
+            message += f" Fix: {finding.hint}"
+        results.append(
+            {
+                "ruleId": finding.rule,
+                "ruleIndex": index_of[finding.rule],
+                "level": "error",
+                "message": {"text": message},
+                "locations": [
+                    {
+                        "physicalLocation": {
+                            "artifactLocation": {
+                                "uri": _relative_uri(finding.path),
+                                "uriBaseId": "SRCROOT",
+                            },
+                            "region": {
+                                "startLine": finding.line,
+                                "startColumn": finding.column,
+                            },
+                        }
+                    }
+                ],
+                "partialFingerprints": {
+                    "reproLintBaseline/v1": finding.fingerprint,
+                },
+            }
+        )
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": TOOL_NAME,
+                        "rules": rules_metadata,
+                    }
+                },
+                "originalUriBaseIds": {
+                    "SRCROOT": {"uri": "file:///"},
+                },
+                "results": results,
+            }
+        ],
+    }
+
+
+def to_sarif_text(findings: Sequence[Finding]) -> str:
+    """The SARIF log serialized deterministically (sorted keys)."""
+    return json.dumps(to_sarif(findings), indent=2, sort_keys=True)
+
+
+def _relative_uri(path: str) -> str:
+    """A forward-slash, repo-relative rendering of a finding path."""
+    normalized = os.path.relpath(path) if os.path.isabs(path) else path
+    return normalized.replace(os.sep, "/")

@@ -35,9 +35,12 @@ X0     Malformed control comments (a ``disable=`` without justification is
 from __future__ import annotations
 
 import ast
-from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
 from .findings import Finding
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from .graph import ProjectGraph
 
 #: Directories (repro-relative) whose code runs *inside* a simulated trial.
 SIMULATED_DIRS = ("algorithms/", "problems/", "runtime/")
@@ -140,14 +143,19 @@ class Rule:
     id = "?"
     title = "?"
 
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
     def applies(self, scope: Optional[str]) -> bool:
         """Whether this rule runs for a file at *scope* (repro-relative)."""
         raise NotImplementedError
 
     def check(
         self, tree: ast.Module, path: str, scope: Optional[str],
-        lines: Sequence[str],
+        lines: Sequence[str], graph: "ProjectGraph",
     ) -> Iterator[Finding]:
+        """Yield findings for one file. File-local rules ignore *graph*;
+        the whole-program rules (D4/P2/A1/A2) consult it."""
         raise NotImplementedError
 
     def _finding(
@@ -176,7 +184,10 @@ class UnseededRandomRule(Rule):
             _in_dirs(scope, SIMULATED_DIRS) and scope != RANDOM_SOURCE_MODULE
         )
 
-    def check(self, tree, path, scope, lines):
+    def check(
+        self, tree: ast.Module, path: str, scope: Optional[str],
+        lines: Sequence[str], graph: "ProjectGraph",
+    ) -> Iterator[Finding]:
         imports = _Imports(tree)
         hint = (
             "thread an explicit random.Random through (usually "
@@ -222,7 +233,10 @@ class WallClockRule(Rule):
             scope not in WALL_CLOCK_ALLOWLIST
         )
 
-    def check(self, tree, path, scope, lines):
+    def check(
+        self, tree: ast.Module, path: str, scope: Optional[str],
+        lines: Sequence[str], graph: "ProjectGraph",
+    ) -> Iterator[Finding]:
         imports = _Imports(tree)
         hint = (
             "simulated code must measure cost in cycles and checks, never "
@@ -295,7 +309,10 @@ class SetIterationRule(Rule):
     def applies(self, scope: Optional[str]) -> bool:
         return _in_dirs(scope, ("algorithms/",))
 
-    def check(self, tree, path, scope, lines):
+    def check(
+        self, tree: ast.Module, path: str, scope: Optional[str],
+        lines: Sequence[str], graph: "ProjectGraph",
+    ) -> Iterator[Finding]:
         hint = (
             "wrap the iterable in sorted(...) so every run visits elements "
             "in the same order (or keep the whole pipeline set-shaped if "
@@ -407,14 +424,19 @@ class AgentIsolationRule(Rule):
     def applies(self, scope: Optional[str]) -> bool:
         return True  # the frozen-dataclass half is repo-wide
 
-    def check(self, tree, path, scope, lines):
+    def check(
+        self, tree: ast.Module, path: str, scope: Optional[str],
+        lines: Sequence[str], graph: "ProjectGraph",
+    ) -> Iterator[Finding]:
         yield from self._check_frozen_messages(tree, path, lines)
         if _in_dirs(scope, ("algorithms/",)):
             yield from self._check_message_mutation(tree, path, lines)
 
     # -- (a) every *Message dataclass is frozen -----------------------------
 
-    def _check_frozen_messages(self, tree, path, lines):
+    def _check_frozen_messages(
+        self, tree: ast.Module, path: str, lines: Sequence[str]
+    ) -> Iterator[Finding]:
         for node in ast.walk(tree):
             if not isinstance(node, ast.ClassDef):
                 continue
@@ -456,7 +478,9 @@ class AgentIsolationRule(Rule):
 
     # -- (b) algorithms never mutate a received message ---------------------
 
-    def _check_message_mutation(self, tree, path, lines):
+    def _check_message_mutation(
+        self, tree: ast.Module, path: str, lines: Sequence[str]
+    ) -> Iterator[Finding]:
         hint = (
             "messages are immutable once sent; build a new message "
             "(dataclasses.replace(...)) and send that instead"
@@ -586,7 +610,10 @@ class UncountedCheckRule(Rule):
     def applies(self, scope: Optional[str]) -> bool:
         return _in_dirs(scope, ("algorithms/",))
 
-    def check(self, tree, path, scope, lines):
+    def check(
+        self, tree: ast.Module, path: str, scope: Optional[str],
+        lines: Sequence[str], graph: "ProjectGraph",
+    ) -> Iterator[Finding]:
         for node in ast.walk(tree):
             if not isinstance(node, ast.Call):
                 continue
@@ -627,21 +654,12 @@ class UncountedCheckRule(Rule):
         return False
 
 
-ALL_RULES: Tuple[Rule, ...] = (
+#: The file-local rules. The full registry (these plus the whole-program
+#: rules) is assembled in :mod:`repro.lint.catalogue`.
+BASE_RULES: Tuple[Rule, ...] = (
     UnseededRandomRule(),
     WallClockRule(),
     SetIterationRule(),
     AgentIsolationRule(),
     UncountedCheckRule(),
 )
-
-#: Rule ids accepted in disable= comments (X0 itself cannot be disabled:
-#: a malformed suppression must be fixed, not suppressed).
-KNOWN_RULE_IDS: Set[str] = {rule.id for rule in ALL_RULES}
-
-
-def rule_by_id(rule_id: str) -> Rule:
-    for rule in ALL_RULES:
-        if rule.id == rule_id:
-            return rule
-    raise KeyError(rule_id)

@@ -1,0 +1,476 @@
+"""The whole-program rules: D4, P2, A1, A2.
+
+These are the checks PR 2's file-local rules could not express — each one
+consults the :class:`~repro.lint.graph.ProjectGraph` and the
+:mod:`~repro.lint.dataflow` layer rather than a single AST:
+
+=====  ======================================================================
+D4     RNG provenance. Every RNG (or derived seed) created in simulated
+       code must trace its master seed to an explicit parameter — across
+       assignments, closures, dataclass fields, and factory helpers. A
+       literal master ("``Random(42)``") silently couples every trial to
+       one hidden stream; an entropy master ("``Random()``") destroys
+       reproducibility outright. The taint engine sees through factories:
+       ``build_agents(seed)`` → ``derive_rng(seed, ...)`` is fine, and
+       ``build_agents(99)`` is flagged *at the call site* that launders
+       the provenance.
+P2     Mutation after send. A payload handed to ``send``/``post``/
+       ``heappush`` is shared structure from that line on; mutating it
+       afterwards rewrites a message already in flight — the in-process
+       transport tolerates the aliasing, the socket transport's pickle
+       boundary does not, and the two diverge. The second half flags
+       *shallow* freezes: a ``frozen=True`` payload dataclass with a
+       mutable-container field is the same bug one level down.
+A1     Agent/transport separation. Agents interact with the world only
+       through returned ``Outgoing`` pairs (see
+       :class:`~repro.runtime.agent.SimulatedAgent`); any reference to a
+       transport, mailbox, network, or inbox from agent code breaks the
+       cost accounting and the read-phase discipline the simulators
+       guarantee.
+A2     Total heap order. Event-queue keys in ``runtime/`` must carry a
+       deterministic tie-break (send sequence) *and* an agent id before
+       any message payload; otherwise equal timestamps fall through to
+       comparing payload objects — unorderable at best, hash-order
+       nondeterminism at worst.
+=====  ======================================================================
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Callable, Iterator, Optional, Sequence, Set, Tuple
+
+from .dataflow import (
+    NO_MASTER,
+    SeedContext,
+    _bind_arguments,
+    _resolve_callable,
+    build_seed_env,
+    collect_events,
+    factory_summaries,
+    is_seed_derived,
+    iter_functions,
+    rng_master_of,
+    summary_key,
+)
+from .findings import Finding
+from .graph import ClassInfo, ModuleInfo, ProjectGraph
+from .rules import RANDOM_SOURCE_MODULE, SIMULATED_DIRS, Rule, _in_dirs
+
+#: Identifier fragments that mark transport-layer objects (A1).
+TRANSPORT_FRAGMENTS = ("transport", "mailbox", "network", "inbox", "socket")
+
+#: Identifier fragments marking a deterministic tie-break component (A2).
+SEQUENCE_FRAGMENTS = ("seq", "count", "tick", "serial")
+
+#: Identifiers naming an agent-id component of a heap key (A2).
+AGENT_ID_NAMES = frozenset(
+    {"sender", "recipient", "agent", "agent_id", "owner", "src", "dst",
+     "origin", "target"}
+)
+
+#: Identifiers that look like a message payload inside a heap key (A2).
+PAYLOAD_NAMES = frozenset({"message", "msg", "payload", "item", "event"})
+
+#: Annotation heads that denote mutable containers (P2's shallow-freeze
+#: half). ``Optional``/``Union`` are looked through.
+MUTABLE_ANNOTATIONS = frozenset(
+    {"list", "dict", "set", "List", "Dict", "Set", "DefaultDict",
+     "defaultdict", "deque", "Deque", "bytearray", "Counter", "OrderedDict",
+     "MutableMapping", "MutableSequence", "MutableSet"}
+)
+
+_WRAPPER_ANNOTATIONS = frozenset({"Optional", "Union", "Final", "ClassVar"})
+
+_ElementPredicate = Callable[[str], bool]
+
+
+def _function_calls(
+    function: ast.AST,
+) -> Iterator[ast.Call]:
+    """Calls lexically in *function*'s own body, nested defs excluded
+    (nested functions are visited as their own unit)."""
+
+    def visit(node: ast.AST) -> Iterator[ast.Call]:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(
+                child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                continue
+            if isinstance(child, ast.Call):
+                yield child
+            yield from visit(child)
+
+    if isinstance(function, ast.Call):
+        yield function
+    yield from visit(function)
+
+
+class RngProvenanceRule(Rule):
+    """D4 — RNG master seeds must derive from an explicit parameter."""
+
+    id = "D4"
+    title = "RNG provenance taint"
+
+    def applies(self, scope: Optional[str]) -> bool:
+        return (
+            _in_dirs(scope, SIMULATED_DIRS) and scope != RANDOM_SOURCE_MODULE
+        )
+
+    def check(
+        self,
+        tree: ast.Module,
+        path: str,
+        scope: Optional[str],
+        lines: Sequence[str],
+        graph: ProjectGraph,
+    ) -> Iterator[Finding]:
+        module = graph.module_at(path)
+        if module is None:
+            return
+        summaries = factory_summaries(graph)
+        hint = (
+            "thread the trial seed in as a parameter and derive the stream "
+            "from it (derive_rng(seed, *tags)); a literal or implicit "
+            "master detaches this RNG from the trial's reproducible state"
+        )
+        # Module level: statements outside any def share an empty seed env.
+        ctx = SeedContext(
+            module=module, graph=graph, summaries=summaries, names=set()
+        )
+        for call in _function_calls(module.tree):
+            yield from self._check_call(call, ctx, path, lines, hint)
+        for function, class_info, enclosing in iter_functions(module):
+            env = build_seed_env(function.node, enclosing)  # type: ignore[arg-type]
+            ctx = SeedContext(
+                module=module,
+                graph=graph,
+                summaries=summaries,
+                names=env,
+                class_info=class_info,
+            )
+            for call in _function_calls(function.node):
+                yield from self._check_call(call, ctx, path, lines, hint)
+
+    def _check_call(
+        self,
+        call: ast.Call,
+        ctx: SeedContext,
+        path: str,
+        lines: Sequence[str],
+        hint: str,
+    ) -> Iterator[Finding]:
+        assert ctx.module is not None
+        master = rng_master_of(call, ctx.module)
+        if master is NO_MASTER:
+            yield self._finding(
+                call, path, lines,
+                "RNG created with no master seed — it is seeded from OS "
+                "entropy, so no two runs can agree",
+                hint,
+            )
+            return
+        if master is not None:
+            if not is_seed_derived(master, ctx):  # type: ignore[arg-type]
+                yield self._finding(
+                    call, path, lines,
+                    "RNG master seed does not derive from an explicit seed "
+                    "parameter — provenance ends at "
+                    f"'{ast.unparse(master)}'",  # type: ignore[arg-type]
+                    hint,
+                )
+            return
+        callee = _resolve_callable(call, ctx.module, ctx.graph)
+        if callee is None:
+            return
+        summary = ctx.summaries.get(summary_key(callee))
+        if summary is None or not summary.creates_rng:
+            return
+        if summary.unseeded:
+            yield self._finding(
+                call, path, lines,
+                f"call to '{ast.unparse(call.func)}', which seeds an RNG "
+                "from a non-parameter source — the nondeterminism is "
+                "inherited here",
+                hint,
+            )
+            return
+        for param, argument in _bind_arguments(call, callee):
+            if param in summary.seed_params and not is_seed_derived(
+                argument, ctx
+            ):
+                yield self._finding(
+                    call, path, lines,
+                    f"'{ast.unparse(call.func)}' feeds parameter "
+                    f"'{param}' into an RNG master seed, but the argument "
+                    f"'{ast.unparse(argument)}' does not derive from a "
+                    "seed parameter",
+                    hint,
+                )
+
+
+class MutationAfterSendRule(Rule):
+    """P2 — payloads are immutable from the send onward, all the way down."""
+
+    id = "P2"
+    title = "no mutation after send"
+
+    def applies(self, scope: Optional[str]) -> bool:
+        return _in_dirs(scope, SIMULATED_DIRS)
+
+    def check(
+        self,
+        tree: ast.Module,
+        path: str,
+        scope: Optional[str],
+        lines: Sequence[str],
+        graph: ProjectGraph,
+    ) -> Iterator[Finding]:
+        module = graph.module_at(path)
+        if module is None:
+            return
+        escape_hint = (
+            "a sent object is shared with the transport; copy before "
+            "sending (copy-on-send) or rebuild the payload instead of "
+            "mutating it — the socket transport pickles at send time and "
+            "would silently disagree with the in-process one"
+        )
+        for function, _class_info, _enclosing in iter_functions(module):
+            node = function.node
+            assert isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+            events = collect_events(node)
+            for mutation, send in events.mutations_after_send():
+                yield self._finding(
+                    mutation.node, path, lines,
+                    f"'{mutation.name}' is mutated ({mutation.verb}) after "
+                    f"being sent on line {send.line} — the in-flight copy "
+                    "changes underneath the transport",
+                    escape_hint,
+                )
+        # The shallow-freeze half is scoped to where payloads actually
+        # cross a transport (messages, reports, deliveries). Frozen
+        # instance descriptors under problems/ are built once per trial
+        # and never travel mid-run, so a Dict field there is fine.
+        if _in_dirs(scope, ("runtime/", "algorithms/")):
+            for cls in module.classes.values():
+                yield from self._check_shallow_freeze(cls, path, lines)
+
+    def _check_shallow_freeze(
+        self, cls: ClassInfo, path: str, lines: Sequence[str]
+    ) -> Iterator[Finding]:
+        if not (cls.is_dataclass and cls.frozen):
+            return
+        for name, annotation in cls.fields.items():
+            head = _annotation_head(annotation)
+            if head in MUTABLE_ANNOTATIONS:
+                yield self._finding(
+                    annotation, path, lines,
+                    f"frozen dataclass {cls.name} has a mutable-container "
+                    f"field '{name}: {ast.unparse(annotation)}' — frozen is "
+                    "shallow, so the container can still be mutated after "
+                    "the instance is sent",
+                    "freeze the collection too: a Tuple[...] (of pairs for "
+                    "mappings) or frozenset keeps in-process and socket "
+                    "transports byte-identical",
+                )
+
+
+def _annotation_head(annotation: ast.expr) -> Optional[str]:
+    """The head identifier of an annotation, looking through
+    Optional/Union/Final wrappers: ``Optional[Dict[int, str]]`` → Dict."""
+    node: ast.expr = annotation
+    for _ in range(6):
+        if isinstance(node, ast.Subscript):
+            head = _simple_name(node.value)
+            if head in _WRAPPER_ANNOTATIONS:
+                inner = node.slice
+                elements = (
+                    list(inner.elts)
+                    if isinstance(inner, ast.Tuple)
+                    else [inner]
+                )
+                for element in elements:
+                    nested = _annotation_head(element)
+                    if nested in MUTABLE_ANNOTATIONS:
+                        return nested
+                return None
+            node = node.value
+            continue
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            # String annotation: cheap textual head check.
+            text = node.value.strip()
+            for candidate in MUTABLE_ANNOTATIONS:
+                if text.startswith(candidate + "[") or text == candidate:
+                    return candidate
+            return None
+        return _simple_name(node)
+    return None
+
+
+def _simple_name(node: ast.expr) -> Optional[str]:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+class AgentTransportRule(Rule):
+    """A1 — agent code never references the transport layer."""
+
+    id = "A1"
+    title = "agent/transport separation"
+
+    def applies(self, scope: Optional[str]) -> bool:
+        return _in_dirs(scope, ("algorithms/",))
+
+    def check(
+        self,
+        tree: ast.Module,
+        path: str,
+        scope: Optional[str],
+        lines: Sequence[str],
+        graph: ProjectGraph,
+    ) -> Iterator[Finding]:
+        module = graph.module_at(path)
+        if module is None:
+            return
+        agent_classes: Set[str] = graph.cached(  # type: ignore[assignment]
+            "simulated-agent-closure",
+            lambda: graph.subclasses_of("SimulatedAgent"),
+        )
+        hint = (
+            "agents communicate only through returned Outgoing pairs; the "
+            "simulator owns delivery, timing, and the read phase — move "
+            "transport interaction into the runtime layer"
+        )
+        for cls in module.classes.values():
+            if cls.name not in agent_classes:
+                continue
+            for method in cls.methods.values():
+                node = method.node
+                for inner in ast.walk(node):
+                    identifier: Optional[str] = None
+                    if isinstance(inner, ast.Name):
+                        identifier = inner.id
+                    elif isinstance(inner, ast.Attribute):
+                        identifier = inner.attr
+                    elif isinstance(inner, ast.arg):
+                        identifier = inner.arg
+                    if identifier is None:
+                        continue
+                    lowered = identifier.lower()
+                    if any(
+                        fragment in lowered
+                        for fragment in TRANSPORT_FRAGMENTS
+                    ):
+                        yield self._finding(
+                            inner, path, lines,
+                            f"agent method {cls.name}.{method.name} "
+                            f"references transport-layer object "
+                            f"'{identifier}' — agents must not touch the "
+                            "delivery machinery (mailbox reads happen only "
+                            "in the simulator's read phase)",
+                            hint,
+                        )
+
+
+class HeapKeyOrderRule(Rule):
+    """A2 — event-queue keys are totally ordered and carry an agent id."""
+
+    id = "A2"
+    title = "totally ordered heap keys"
+
+    def applies(self, scope: Optional[str]) -> bool:
+        return _in_dirs(scope, ("runtime/",))
+
+    def check(
+        self,
+        tree: ast.Module,
+        path: str,
+        scope: Optional[str],
+        lines: Sequence[str],
+        graph: ProjectGraph,
+    ) -> Iterator[Finding]:
+        hint = (
+            "shape the key as (time, sequence, agent ids..., payload): the "
+            "monotone send sequence makes the order total before comparison "
+            "can ever reach the unorderable payload, and the agent id keeps "
+            "it meaningful across transports"
+        )
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            is_push = (
+                isinstance(func, ast.Attribute) and func.attr == "heappush"
+            ) or (isinstance(func, ast.Name) and func.id == "heappush")
+            if not is_push or len(node.args) < 2:
+                continue
+            key = node.args[1]
+            if not isinstance(key, ast.Tuple):
+                yield self._finding(
+                    node, path, lines,
+                    "heap key is not a tuple — ordering falls back to "
+                    "comparing the pushed object itself, which is not "
+                    "totally ordered across runs",
+                    hint,
+                )
+                continue
+            sequence_at = self._first_index(key, self._is_sequence_like)
+            agent_at = self._first_index(key, self._is_agent_like)
+            payload_at = self._first_index(key, self._is_payload_like)
+            if sequence_at is None:
+                yield self._finding(
+                    node, path, lines,
+                    "heap key has no deterministic tie-break component — "
+                    "equal timestamps compare the remaining elements, and "
+                    "nothing monotone separates them",
+                    hint,
+                )
+            elif payload_at is not None and payload_at < sequence_at:
+                yield self._finding(
+                    node, path, lines,
+                    "heap key compares the message payload before the "
+                    "tie-break sequence — equal timestamps reach the "
+                    "unorderable payload first",
+                    hint,
+                )
+            if agent_at is None:
+                yield self._finding(
+                    node, path, lines,
+                    "heap key does not include an agent id — deliveries "
+                    "cannot be attributed deterministically per agent, and "
+                    "cross-transport replays lose the channel identity",
+                    hint,
+                )
+
+    @staticmethod
+    def _first_index(
+        key: ast.Tuple, predicate: _ElementPredicate
+    ) -> Optional[int]:
+        for index, element in enumerate(key.elts):
+            name = _simple_name(element)
+            if name is not None and predicate(name.lower()):
+                return index
+        return None
+
+    @staticmethod
+    def _is_sequence_like(name: str) -> bool:
+        return any(fragment in name for fragment in SEQUENCE_FRAGMENTS)
+
+    @staticmethod
+    def _is_agent_like(name: str) -> bool:
+        return name in AGENT_ID_NAMES or "agent" in name
+
+    @staticmethod
+    def _is_payload_like(name: str) -> bool:
+        return name in PAYLOAD_NAMES
+
+
+PROGRAM_RULES: Tuple[Rule, ...] = (
+    RngProvenanceRule(),
+    MutationAfterSendRule(),
+    AgentTransportRule(),
+    HeapKeyOrderRule(),
+)

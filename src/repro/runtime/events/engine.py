@@ -213,6 +213,12 @@ class EventDrivenSimulator:
         inbox: Dict[AgentId, List[Message]] = {}
         for delivery in self.transport.pop_due(now):
             inbox.setdefault(delivery.recipient, []).append(delivery.message)
+            if self.tracer is not None:
+                traced_at = time.perf_counter()
+                self.tracer.on_delivery(
+                    now, delivery.sequence, delivery.sender, delivery.recipient
+                )
+                self._tracer_seconds += time.perf_counter() - traced_at
         woken = self._wakeups.pop(now, set())
         if self.activation == "all":
             active = self.agents
@@ -241,7 +247,13 @@ class EventDrivenSimulator:
                 )
             if self.tracer is not None:
                 traced_at = time.perf_counter()
-                self.tracer.on_message(now, sender, recipient, message)
+                # sent_count is the transport's send counter *before* this
+                # send, i.e. exactly the sequence the transport will stamp
+                # on the resulting delivery.
+                self.tracer.on_message(
+                    now, sender, recipient, message,
+                    sequence=self.transport.sent_count,
+                )
                 self._tracer_seconds += time.perf_counter() - traced_at
             self.transport.send(sender, recipient, message, now)
 

@@ -73,11 +73,17 @@ class Envelope:
 
 @dataclass(frozen=True)
 class Report:
-    """An agent's post-step report to the router."""
+    """An agent's post-step report to the router.
+
+    ``assignment`` is a sorted tuple of pairs, not a dict: the report is a
+    wire payload, and a mutable container inside a frozen frame is only
+    shallow-frozen (repro-lint P2) — the agent process could mutate it
+    after handing it to the mailbox.
+    """
 
     agent_id: AgentId
     consumed: int
-    assignment: Dict[VariableId, Value]
+    assignment: Tuple[Tuple[VariableId, Value], ...]
     clock: int
     checks: int
     activations: int
@@ -176,7 +182,7 @@ def _agent_process(
             Report(
                 agent_id=agent.id,
                 consumed=consumed,
-                assignment=dict(agent.local_assignment()),
+                assignment=tuple(sorted(agent.local_assignment().items())),
                 clock=clock,
                 checks=agent.check_counter.total,
                 activations=activations,
@@ -421,6 +427,6 @@ def _handle(
     elif isinstance(item, Report):
         state.in_flight -= item.consumed
         state.reported[item.agent_id] = item
-        state.assignment.update(item.assignment)
+        state.assignment.update(dict(item.assignment))
     else:  # pragma: no cover - defensive
         raise SimulationError(f"unexpected frame from agent: {item!r}")

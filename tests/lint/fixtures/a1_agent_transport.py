@@ -1,0 +1,24 @@
+# repro-lint: module=algorithms/fixture_a1.py
+"""Dirty A1 fixture: agent code reaching into the delivery machinery."""
+
+
+class SimulatedAgent:
+    """Stand-in base; the subclass closure works on the simple name."""
+
+
+class LeakyAgent(SimulatedAgent):
+    def step(self, messages):
+        return self.transport.peek()  # dirty: transport attribute
+
+    def drain(self, mailbox):  # dirty: mailbox parameter (and its read below)
+        return list(mailbox)
+
+
+class CleanAgent(SimulatedAgent):
+    def step(self, messages):
+        return [(1, message) for message in messages]  # clean: Outgoing pairs
+
+
+class NotAnAgent:
+    def pump(self, transport):  # clean: not in the agent closure
+        transport.flush()

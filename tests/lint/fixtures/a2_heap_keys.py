@@ -1,0 +1,24 @@
+# repro-lint: module=runtime/fixture_a2.py
+"""Dirty A2 fixture: event-queue keys that are not totally ordered."""
+
+import heapq
+
+
+def push_bare(queue, message):
+    heapq.heappush(queue, message)  # dirty: no key tuple at all
+
+
+def push_no_sequence(queue, arrival, sender, message):
+    heapq.heappush(queue, (arrival, sender, message))  # dirty: no tie-break
+
+
+def push_payload_first(queue, arrival, sequence, sender, message):
+    heapq.heappush(queue, (arrival, message, sequence, sender))  # dirty
+
+
+def push_no_agent(queue, arrival, sequence, message):
+    heapq.heappush(queue, (arrival, sequence, message))  # dirty: no agent id
+
+
+def push_good(queue, arrival, sequence, sender, recipient, message):
+    heapq.heappush(queue, (arrival, sequence, sender, recipient, message))

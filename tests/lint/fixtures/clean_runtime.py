@@ -1,0 +1,20 @@
+# repro-lint: module=runtime/fixture_clean.py
+"""Runtime-scoped code that satisfies every repro-lint rule."""
+
+import heapq
+from dataclasses import dataclass
+from typing import Tuple
+
+
+@dataclass(frozen=True)
+class FrozenReport:
+    assignment: Tuple[Tuple[int, int], ...]
+
+
+def enqueue(queue, arrival, sequence, sender, recipient, message):
+    heapq.heappush(queue, (arrival, sequence, sender, recipient, message))
+
+
+def dispatch(transport, report):
+    transport.send(0, 1, report)
+    return report

@@ -1,0 +1,41 @@
+# repro-lint: module=algorithms/fixture_d4.py
+"""Dirty D4 fixture: RNG master seeds that do not derive from a parameter."""
+
+from random import Random
+
+
+def make_agent_rng(seed):
+    return Random(seed)  # clean: the master is an explicit parameter
+
+
+def derive_rng(master, *tags):
+    return Random(hash((master,) + tags))  # clean: stub deriver
+
+
+def entropy_seeded():
+    return Random()  # dirty: seeded from OS entropy
+
+
+def literal_master():
+    return Random(42)  # dirty: literal master detaches the trial seed
+
+
+def unseeded_factory():
+    rng = Random()  # dirty: the factory itself is unseeded
+    return rng
+
+
+def inherits_nondeterminism():
+    return unseeded_factory()  # dirty: the call inherits the bad seed
+
+
+def launder(seed):
+    bad = make_agent_rng(99)  # dirty: factory fed a literal, not the seed
+    good = make_agent_rng(seed)  # clean: provenance flows through the call
+    derived = derive_rng(seed, "agent", 1)  # clean: explicit derivation
+    return bad, good, derived
+
+
+def chained(seed):
+    trial_seed = seed + 1
+    return Random(trial_seed)  # clean: derived through an assignment

@@ -1,0 +1,41 @@
+# repro-lint: module=algorithms/fixture_p2.py
+"""Dirty P2 fixture: payloads mutated after send, shallowly frozen payloads."""
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+
+@dataclass(frozen=True)
+class ShallowReport:
+    assignment: Dict[int, int]  # dirty: frozen is shallow
+
+
+@dataclass(frozen=True)
+class DeepReport:
+    assignment: Tuple[Tuple[int, int], ...]  # clean: frozen all the way down
+
+
+def broadcast(transport, recipients):
+    payload = [1, 2]
+    transport.send(0, 1, payload)
+    payload.append(3)  # dirty: the in-flight copy changes
+
+
+def loop_send(transport, items):
+    batch = []
+    for item in items:
+        transport.send(0, item, batch)
+        batch.append(item)  # dirty: mutated in the same loop as the send
+
+
+def rebind_is_fine(transport, items):
+    batch = []
+    for item in items:
+        transport.send(0, item, batch)
+        batch = [item]  # clean: a fresh object each iteration
+
+
+def mutate_before_send(transport):
+    payload = [1]
+    payload.append(2)  # clean: mutation happens before the send
+    transport.send(0, 1, payload)

@@ -1,0 +1,130 @@
+"""The shared project graph and dataflow layer underneath the rules."""
+
+import random
+
+from repro.lint.dataflow import compute_factory_summaries, summary_key
+from repro.lint.graph import ProjectGraph
+
+
+def graph_of(*sources):
+    """Build a graph from (path, source, scope) triples."""
+    return ProjectGraph.build_from_sources(list(sources))
+
+
+class TestProjectGraph:
+    def test_modules_functions_and_classes_are_indexed(self):
+        graph = graph_of(
+            (
+                "src/repro/algorithms/toy.py",
+                "def build(seed):\n    return seed\n\n"
+                "class ToyAgent:\n    def step(self):\n        return []\n",
+                "algorithms/toy.py",
+            )
+        )
+        module = graph.module_at("src/repro/algorithms/toy.py")
+        assert module is not None
+        assert module.scope == "algorithms/toy.py"
+        assert "build" in module.functions
+        assert "ToyAgent" in module.classes
+        assert "step" in module.classes["ToyAgent"].methods
+
+    def test_resolves_imports_between_repro_modules(self):
+        graph = graph_of(
+            (
+                "src/repro/runtime/helper.py",
+                "def derive(seed):\n    return seed\n",
+                "runtime/helper.py",
+            ),
+            (
+                "src/repro/algorithms/user.py",
+                "from ..runtime.helper import derive\n\n"
+                "def build(seed):\n    return derive(seed)\n",
+                "algorithms/user.py",
+            ),
+        )
+        user = graph.module_at("src/repro/algorithms/user.py")
+        resolved = graph.resolve_function(user, "derive")
+        assert resolved is not None
+        assert resolved.module.scope == "runtime/helper.py"
+
+    def test_subclass_closure_is_transitive(self):
+        graph = graph_of(
+            (
+                "src/repro/algorithms/hier.py",
+                "class SimulatedAgent:\n    pass\n\n"
+                "class Base(SimulatedAgent):\n    pass\n\n"
+                "class Leaf(Base):\n    pass\n\n"
+                "class Other:\n    pass\n",
+                "algorithms/hier.py",
+            )
+        )
+        closure = graph.subclasses_of("SimulatedAgent")
+        assert {"SimulatedAgent", "Base", "Leaf"} <= closure
+        assert "Other" not in closure
+
+    def test_cached_computes_once_per_graph(self):
+        graph = graph_of(("a.py", "x = 1\n", None))
+        calls = []
+        first = graph.cached("probe", lambda: calls.append(1) or "value")
+        second = graph.cached("probe", lambda: calls.append(1) or "other")
+        assert first == second == "value"
+        assert len(calls) == 1
+
+    def test_dataclass_metadata_is_extracted(self):
+        graph = graph_of(
+            (
+                "src/repro/runtime/msg.py",
+                "from dataclasses import dataclass\n\n"
+                "@dataclass(frozen=True)\nclass Ping:\n    payload: int\n",
+                "runtime/msg.py",
+            )
+        )
+        cls = graph.module_at("src/repro/runtime/msg.py").classes["Ping"]
+        assert cls.is_dataclass and cls.frozen
+        assert "payload" in cls.fields
+
+
+class TestFactorySummaries:
+    def test_summary_tracks_seed_parameters_through_helpers(self):
+        graph = graph_of(
+            (
+                "src/repro/algorithms/factory.py",
+                "from random import Random\n\n"
+                "def make(seed):\n    return Random(seed)\n\n"
+                "def indirect(trial_seed):\n    return make(trial_seed)\n\n"
+                "def broken():\n    return Random()\n",
+                "algorithms/factory.py",
+            )
+        )
+        module = graph.module_at("src/repro/algorithms/factory.py")
+        summaries = compute_factory_summaries(graph)
+
+        make = summaries[summary_key(module.functions["make"])]
+        assert make.creates_rng and make.seed_params == ("seed",)
+        assert not make.unseeded
+
+        indirect = summaries[summary_key(module.functions["indirect"])]
+        assert indirect.creates_rng
+        assert indirect.seed_params == ("trial_seed",)
+
+        broken = summaries[summary_key(module.functions["broken"])]
+        assert broken.creates_rng and broken.unseeded
+
+    def test_non_rng_functions_are_not_factories(self):
+        graph = graph_of(
+            (
+                "src/repro/algorithms/plain.py",
+                "def add(a, b):\n    return a + b\n",
+                "algorithms/plain.py",
+            )
+        )
+        module = graph.module_at("src/repro/algorithms/plain.py")
+        summary = compute_factory_summaries(graph).get(
+            summary_key(module.functions["add"])
+        )
+        assert summary is None or not summary.creates_rng
+
+    def test_real_random_module_is_untouched(self):
+        # The dataflow layer only reads ASTs; the interpreter's random
+        # module keeps working (guards against accidental monkeypatching).
+        assert isinstance(random.Random(0).random(), float)

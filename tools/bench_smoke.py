@@ -5,7 +5,7 @@ verifies the results are identical, and writes a JSON report with wall
 times, the speedup, and nogood-check throughput. Later PRs re-run this to
 track the perf trajectory of the experiment hot path.
 
-Two axes:
+Three axes:
 
 * ``--axis workers`` (default) — sequential vs the parallel engine;
   writes ``BENCH_trial_engine.json``.
@@ -13,11 +13,15 @@ Two axes:
   discrete-event engine in parity mode; identical results are the parity
   guarantee, the wall-time ratio is the event loop's overhead. Writes
   ``BENCH_event_engine.json``.
+* ``--axis lint`` — two full-tree runs of the whole-program repro-lint
+  analyzer (``src/`` + ``tests/``); identical findings are the
+  determinism guarantee, and the wall time must stay under the 10 s CI
+  budget. Writes ``BENCH_lint.json``.
 
 Usage::
 
-    PYTHONPATH=src python tools/bench_smoke.py [--axis workers|backend]
-        [--jobs N] [--output PATH]
+    PYTHONPATH=src python tools/bench_smoke.py
+        [--axis workers|backend|lint] [--jobs N] [--output PATH]
 
 The grid is deliberately small (quick-scale sizes, a few seconds per leg)
 so CI can afford it; the JSON records the machine's core count, so a
@@ -53,6 +57,9 @@ GRID = (
 
 MAX_CYCLES = 3_000
 MASTER_SEED = 0
+
+#: CI wall-time budget (seconds) for one full-tree lint pass.
+LINT_BUDGET_SECONDS = 10.0
 
 #: Fields that must agree between the sequential and parallel legs.
 MEASURE_FIELDS = (
@@ -139,14 +146,81 @@ def run_grid(workers: int, backend: str = "sync"):
     }
 
 
+def run_lint_bench(repo_root: Path, output: str) -> int:
+    """Two full-tree lint passes: determinism check + CI wall-time budget."""
+    from repro.lint.engine import (
+        DEFAULT_EXCLUDES,
+        iter_python_files,
+        lint_paths,
+    )
+
+    paths = [str(repo_root / "src"), str(repo_root / "tests")]
+    files = list(iter_python_files(paths, excludes=list(DEFAULT_EXCLUDES)))
+    passes = []
+    findings_per_pass = []
+    for _ in range(2):
+        started = time.perf_counter()
+        findings = lint_paths(
+            paths, baseline=None, excludes=list(DEFAULT_EXCLUDES)
+        )
+        elapsed = time.perf_counter() - started
+        passes.append(round(elapsed, 4))
+        findings_per_pass.append(
+            [finding.format(show_hint=False) for finding in findings]
+        )
+    if findings_per_pass[0] != findings_per_pass[1]:
+        print("FATAL: lint findings diverge between identical passes")
+        return 1
+    slowest = max(passes)
+    budget_met = slowest <= LINT_BUDGET_SECONDS
+    report = {
+        "benchmark": "lint_smoke",
+        "paths": ["src/", "tests/"],
+        "files_linted": len(files),
+        "machine": {
+            "cpu_count": os.cpu_count() or 1,
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+        },
+        "pass_wall_seconds": passes,
+        "files_per_second": round(len(files) / slowest) if slowest else 0,
+        "findings": len(findings_per_pass[0]),
+        "budget_seconds": LINT_BUDGET_SECONDS,
+        "budget_met": budget_met,
+        "results_identical": True,
+        "note": (
+            "one whole-program pass parses every file once into a shared "
+            "ProjectGraph, then runs the file-local and inter-procedural "
+            "rules against it; the budget keeps full-tree linting viable "
+            "as a pre-commit hook and a CI gate"
+        ),
+    }
+    Path(output).write_text(json.dumps(report, indent=2) + "\n")
+    print(
+        f"lint: {len(files)} files, passes {passes[0]:.2f}s / "
+        f"{passes[1]:.2f}s, {report['findings']} finding(s), "
+        f"budget {LINT_BUDGET_SECONDS:.0f}s "
+        f"{'met' if budget_met else 'EXCEEDED'}"
+    )
+    print(f"wrote {output}")
+    if not budget_met:
+        print(
+            f"FATAL: full-tree lint took {slowest:.2f}s, over the "
+            f"{LINT_BUDGET_SECONDS:.0f}s budget"
+        )
+        return 1
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--axis",
-        choices=("workers", "backend"),
+        choices=("workers", "backend", "lint"),
         default="workers",
-        help="what to compare: sequential vs parallel execution, or the "
-        "sync vs event-driven engines (both legs sequential)",
+        help="what to compare: sequential vs parallel execution, the "
+        "sync vs event-driven engines (both legs sequential), or two "
+        "passes of the whole-program lint analyzer",
     )
     parser.add_argument(
         "--jobs",
@@ -165,6 +239,10 @@ def main(argv=None) -> int:
     cores = os.cpu_count() or 1
     jobs = args.jobs if args.jobs is not None else min(4, cores)
     repo_root = Path(__file__).resolve().parent.parent
+
+    if args.axis == "lint":
+        output = args.output or str(repo_root / "BENCH_lint.json")
+        return run_lint_bench(repo_root, output)
 
     if args.axis == "backend":
         output = args.output or str(repo_root / "BENCH_event_engine.json")
