@@ -147,10 +147,9 @@ class AbtAgent(SingleVariableAgent):
             # Loop: the culprit's value was erased from the view; re-check.
 
     def _consistent(self, value: Value) -> bool:
-        for nogood in self.store.for_value(value):
-            if self.store.is_violated(nogood, self.view, value):
-                return False
-        return True
+        # Delegating to the store keeps the short-circuit scan (and its
+        # check counting) on the kernel fast path under --store watched.
+        return self.store.is_consistent(self.view, value)
 
     def _first_consistent_value(self) -> Optional[Value]:
         for value in self.domain:
@@ -194,12 +193,10 @@ class AbtAgent(SingleVariableAgent):
         from ..learning.resolvent import stable_nogood_key
 
         pairs = set()
-        for value in self.domain:
-            violated = [
-                nogood
-                for nogood in self.store.for_value(value)
-                if self.store.is_violated(nogood, self.view, value)
-            ]
+        violated_per_value = self.store.violated_batch(
+            self.view, list(self.domain)
+        )
+        for violated in violated_per_value:
             if not violated:
                 # Not a true deadend for this value (can happen only if the
                 # caller mis-detected); fall back to the full view.

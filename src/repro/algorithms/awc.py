@@ -129,20 +129,17 @@ class AwcAgent(SingleVariableAgent):
         )
         if not violated:
             return []
+        others = [value for value in self.domain if value != self.value]
+        higher_per_value = self.store.violated_higher_batch(
+            self.view, others, self.priority
+        )
         repair_candidates = [
             value
-            for value in self.domain
-            if value != self.value
-            and not self.store.violated_higher(self.view, value, self.priority)
+            for value, higher in zip(others, higher_per_value)
+            if not higher
         ]
         if repair_candidates:
-            self.value = argmin_with_ties(
-                repair_candidates,
-                lambda value: self.store.count_violated_lower(
-                    self.view, value, self.priority
-                ),
-                self.rng,
-            )
+            self.value = self._least_lower_violations(repair_candidates)
             return self._broadcast_ok(self.sorted_recipients())
         return self._backtrack()
 
@@ -192,10 +189,14 @@ class AwcAgent(SingleVariableAgent):
         # unary-forbidden value — nothing would ever make the agent move off
         # it, freezing the system — so those values are excluded here, and
         # lower violations are minimized among the rest.
+        all_values = list(self.domain)
+        higher_per_value = self.store.violated_higher_batch(
+            self.view, all_values, self.priority
+        )
         candidates = [
             value
-            for value in self.domain
-            if not self.store.violated_higher(self.view, value, self.priority)
+            for value, higher in zip(all_values, higher_per_value)
+            if not higher
         ]
         if not candidates:
             # Every value is forbidden by a unary nogood on this variable:
@@ -203,13 +204,7 @@ class AwcAgent(SingleVariableAgent):
             # the problem unsolvable.
             outgoing.extend(self._backtrack())
             return outgoing
-        self.value = argmin_with_ties(
-            candidates,
-            lambda value: self.store.count_violated_lower(
-                self.view, value, self.priority
-            ),
-            self.rng,
-        )
+        self.value = self._least_lower_violations(candidates)
         outgoing.extend(self._broadcast_ok(self.sorted_recipients()))
         return outgoing
 
@@ -231,6 +226,23 @@ class AwcAgent(SingleVariableAgent):
         return requests
 
     # -- helpers ---------------------------------------------------------------
+
+    def _least_lower_violations(self, candidates: List[Value]) -> Value:
+        """The candidate violating the fewest lower nogoods (random ties).
+
+        Scores come from one batch call (one view sync on kernel backends);
+        check counting and the rng tie-draw are identical to scoring each
+        candidate individually inside :func:`argmin_with_ties`.
+        """
+        lower_counts = self.store.count_violated_lower_batch(
+            self.view, candidates, self.priority
+        )
+        chosen = argmin_with_ties(
+            list(zip(candidates, lower_counts)),
+            lambda scored: scored[1],
+            self.rng,
+        )
+        return chosen[0]
 
     def _highest_known_priority(self) -> int:
         highest = self.priority

@@ -8,7 +8,7 @@ variable lookup, initial local nogoods, recipients bookkeeping).
 from __future__ import annotations
 
 import random
-from typing import Callable, Dict, Iterable, List, Optional, TypeVar
+from typing import Callable, Dict, Iterable, List, Optional, Type, TypeVar
 
 from ..core.exceptions import ModelError
 from ..core.problem import AgentId, DisCSP
@@ -104,6 +104,21 @@ class SingleVariableAgent(SimulatedAgent):
             )
         self._initial_value = initial_value
         self.value: Value = self.domain.values[0]
+
+    def rebind_store(self, store_class: Type[NogoodStore]) -> None:
+        """Rebuild the store as *store_class*, preserving counter and contents.
+
+        Nogoods are re-added in the original insertion order so any
+        order-sensitive downstream behavior (scan order, tie-breaking via
+        stable keys) is unchanged. ``add`` is not a counted operation, so
+        the check counter is untouched by the swap.
+        """
+        if type(self.store) is store_class:
+            return
+        replacement = store_class(self.variable, self.check_counter)
+        for nogood in self.store.nogoods():
+            replacement.add(nogood)
+        self.store = replacement
 
     def pick_initial_value(self) -> Value:
         """The configured initial value, or a uniform random one."""

@@ -129,10 +129,11 @@ class BreakoutAgent(SingleVariableAgent):
         for message in wave.values():
             self.view.update(message.variable, message.value, 0)
         self._my_eval = self._evaluate(self.value)
+        others = [value for value in self.domain if value != self.value]
+        violated_per_value = self.store.violated_batch(self.view, others)
         candidates: List[Tuple[Value, int]] = [
-            (value, self._evaluate(value))
-            for value in self.domain
-            if value != self.value
+            (value, self._weighted_sum(violated))
+            for value, violated in zip(others, violated_per_value)
         ]
         best_eval = self._my_eval
         ties: List[Value] = []
@@ -190,21 +191,22 @@ class BreakoutAgent(SingleVariableAgent):
     def _weight_of(self, nogood: Nogood) -> int:
         return self.weights.get(self._weight_key(nogood), 1)
 
+    def _weighted_sum(self, violated: Sequence[Nogood]) -> int:
+        total = 0
+        for nogood in violated:
+            total += self._weight_of(nogood)
+        return total
+
     def _evaluate(self, value: Value) -> int:
         """Weighted count of nogoods violated with our variable at *value*."""
-        total = 0
-        for nogood in self.store.for_value(value):
-            if self.store.is_violated(nogood, self.view, value):
-                total += self._weight_of(nogood)
-        return total
+        return self._weighted_sum(self.store.violated(self.view, value))
 
     def _break_out(self) -> None:
         """Increase the weight of every currently violated nogood by one."""
         self.breakouts += 1
-        for nogood in self.store.for_value(self.value):
-            if self.store.is_violated(nogood, self.view, self.value):
-                key = self._weight_key(nogood)
-                self.weights[key] = self.weights.get(key, 1) + 1
+        for nogood in self.store.violated(self.view, self.value):
+            key = self._weight_key(nogood)
+            self.weights[key] = self.weights.get(key, 1) + 1
 
     def _broadcast(self, message: Message) -> List[Outgoing]:
         return [(recipient, message) for recipient in self.sorted_recipients()]

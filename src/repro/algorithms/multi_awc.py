@@ -24,10 +24,11 @@ agents.
 from __future__ import annotations
 
 import random
-from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Type
 
 from ..core.exceptions import ModelError
 from ..core.problem import AgentId, DisCSP
+from ..core.store import NogoodStore
 from ..core.variables import Value, VariableId
 from ..learning.base import LearningMethod
 from ..runtime.agent import SimulatedAgent
@@ -112,6 +113,11 @@ class MultiVariableAwcAgent(SimulatedAgent):
             variable: handler.value
             for variable, handler in self._handlers.items()
         }
+
+    def rebind_store(self, store_class: Type[NogoodStore]) -> None:
+        """Rebind every handler's store; all keep the shared check counter."""
+        for variable in sorted(self._handlers):
+            self._handlers[variable].rebind_store(store_class)
 
     def has_pending_work(self) -> bool:
         """Carryover left by a capped intra-round drain awaits another step.

@@ -66,6 +66,23 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
             "identical; see docs/api.md on repro.runtime.events)"
         ),
     )
+    _add_store_option(parser)
+
+
+def _add_store_option(parser: argparse.ArgumentParser) -> None:
+    from .core.store import STORE_BACKENDS
+
+    parser.add_argument(
+        "--store",
+        choices=STORE_BACKENDS,
+        default="dict",
+        help=(
+            "nogood-store backend: dict (the per-value index), linear "
+            "(unindexed ablation) or watched (the bitset/watched-pair "
+            "kernel). Counted identically, so results are bit-identical; "
+            "only wall-clock changes."
+        ),
+    )
 
 
 def _resolve_scale(name: Optional[str]):
@@ -78,9 +95,14 @@ def _print_table(number: int, args: argparse.Namespace) -> None:
     scale = _resolve_scale(args.scale)
     jobs = getattr(args, "jobs", None)
     backend = getattr(args, "backend", "sync")
+    store = getattr(args, "store", "dict")
     if number == 4:
         for table in run_table4(
-            scale=scale, seed=args.seed, workers=jobs, backend=backend
+            scale=scale,
+            seed=args.seed,
+            workers=jobs,
+            backend=backend,
+            store=store,
         ):
             print(table.format_text())
             print()
@@ -92,7 +114,12 @@ def _print_table(number: int, args: argparse.Namespace) -> None:
                 print(f"  {family:5s} n={n:<4d} {label:15s} {value:>10.1f}")
         return
     table = run_table(
-        number, scale=scale, seed=args.seed, workers=jobs, backend=backend
+        number,
+        scale=scale,
+        seed=args.seed,
+        workers=jobs,
+        backend=backend,
+        store=store,
     )
     reference = None if args.no_reference else reference_for_table(number)
     print(table.format_text(reference))
@@ -243,6 +270,12 @@ def _cmd_solve(args: argparse.Namespace) -> int:
         from .runtime.trace import TraceRecorder
 
         tracer = TraceRecorder()
+    profiler = None
+    if args.profile:
+        import cProfile
+
+        profiler = cProfile.Profile()
+        profiler.enable()
     result = run_trial(
         problem,
         algorithm_by_name(args.algorithm),
@@ -250,7 +283,21 @@ def _cmd_solve(args: argparse.Namespace) -> int:
         max_cycles=args.max_cycles,
         backend=args.backend,
         tracer=tracer,
+        store=args.store,
     )
+    if profiler is not None:
+        import pstats
+
+        profiler.disable()
+        if args.profile == "-":
+            stats = pstats.Stats(profiler, stream=sys.stdout)
+            stats.sort_stats("cumulative").print_stats(30)
+        else:
+            profiler.dump_stats(args.profile)
+            print(
+                f"wrote cProfile stats to {args.profile} "
+                "(inspect with python -m pstats, or snakeviz)"
+            )
     if tracer is not None:
         count = tracer.write_jsonl(args.trace_jsonl)
         print(f"wrote {count} trace records to {args.trace_jsonl}")
@@ -335,6 +382,21 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     if args.no_fifo_check:
         forwarded.append("--no-fifo-check")
     return lint_main(forwarded)
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from .experiments.bench import main as bench_main
+
+    forwarded: List[str] = ["--axis", args.axis]
+    if args.jobs is not None:
+        forwarded += ["--jobs", str(args.jobs)]
+    if args.output:
+        forwarded += ["--output", args.output]
+    if args.gate is not None:
+        forwarded.append("--gate")
+        if args.gate:
+            forwarded.append(args.gate)
+    return bench_main(forwarded)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -448,6 +510,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="record the full message/value-change trace and write it "
         "to PATH as JSON Lines",
     )
+    _add_store_option(solve)
+    solve.add_argument(
+        "--profile",
+        default=None,
+        metavar="PATH",
+        help="profile the trial with cProfile and dump the stats to PATH "
+        "('-' prints the top cumulative entries to stdout)",
+    )
     solve.set_defaults(func=_cmd_solve)
 
     generate = sub.add_parser(
@@ -485,6 +555,30 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("--check-trace", default=None, metavar="JSONL")
     lint.add_argument("--no-fifo-check", action="store_true")
     lint.set_defaults(func=_cmd_lint)
+
+    bench = sub.add_parser(
+        "bench",
+        help="smoke benchmarks: trial engine, event engine, lint "
+        "analyzer, nogood-store kernel (writes BENCH_*.json)",
+    )
+    bench.add_argument(
+        "--axis",
+        choices=("workers", "backend", "lint", "store"),
+        default="workers",
+        help="what to compare (see repro.experiments.bench)",
+    )
+    bench.add_argument("--jobs", type=int, default=None)
+    bench.add_argument("--output", default=None, metavar="PATH")
+    bench.add_argument(
+        "--gate",
+        nargs="?",
+        const="",
+        default=None,
+        metavar="BASELINE",
+        help="(--axis store) fail if the watched kernel's checks/sec "
+        "regressed more than 20%% vs the BASELINE report",
+    )
+    bench.set_defaults(func=_cmd_bench)
 
     return parser
 

@@ -1,0 +1,224 @@
+"""Bitset encodings of views and nogoods — the kernel's data layer.
+
+The nogood check of the paper is a conjunction test: a nogood is violated
+iff every one of its ``(variable, value)`` pairs is matched by the agent's
+current knowledge. The pure-python reference implementation walks the pairs
+with dict lookups; this module turns the same test into one machine
+operation by encoding *pairs as bits*:
+
+* a :class:`PairCodec` assigns each distinct pair a bit position the first
+  time it is seen (append-only, so masks never need re-encoding);
+* a nogood becomes a *mask* — the OR of its pairs' bits;
+* an agent view becomes a bitset holding one bit per pair it currently
+  matches (:class:`PackedView`), kept in sync with the mutable
+  :class:`~repro.core.assignment.AgentView` incrementally via its change
+  counters;
+* "is this nogood violated?" becomes ``mask & bits == mask``.
+
+With the paper's small domains the whole codec fits in one or two machine
+words; beyond that Python ints degrade gracefully into bignums. The
+:class:`~repro.core.watched.WatchedNogoodStore` builds its watched-pair
+index on top of these bits; the codec and packed view are independently
+reusable (e.g. for batch candidate evaluation).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from .assignment import AgentView
+from .nogood import Nogood
+from .variables import Value, VariableId
+
+#: One element of a nogood / one view fact: ``(variable, value)``.
+Pair = Tuple[VariableId, Value]
+
+#: Sentinel distinct from every legal value (None is a legal value).
+_ABSENT = object()
+
+
+class PairCodec:
+    """An append-only mapping from ``(variable, value)`` pairs to bit masks.
+
+    Bits are allocated on first use, so the codec only spends width on
+    pairs that actually occur in stored nogoods — view facts about pairs no
+    nogood mentions never allocate a bit (they cannot influence any
+    violation test).
+    """
+
+    __slots__ = ("_bit_index", "_masks")
+
+    def __init__(self) -> None:
+        self._bit_index: Dict[Pair, int] = {}
+        self._masks: Dict[Pair, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._bit_index)
+
+    def mask_of(self, pair: Pair) -> int:
+        """The single-bit mask for *pair*, allocating a bit if it is new."""
+        mask = self._masks.get(pair)
+        if mask is None:
+            index = len(self._bit_index)
+            self._bit_index[pair] = index
+            mask = 1 << index
+            self._masks[pair] = mask
+        return mask
+
+    def peek(self, pair: Pair) -> Optional[int]:
+        """The mask for *pair* if it already has a bit, else None."""
+        return self._masks.get(pair)
+
+    def bit_of(self, pair: Pair) -> int:
+        """The bit index for *pair*, allocating if new."""
+        self.mask_of(pair)
+        return self._bit_index[pair]
+
+    def encode(
+        self,
+        pairs: Iterable[Pair],
+        skip_variable: Optional[VariableId] = None,
+    ) -> int:
+        """The OR-mask of *pairs*, allocating bits as needed.
+
+        ``skip_variable`` omits pairs binding that variable — used to
+        encode a nogood's *rest mask* (everything but the owner's pair,
+        which the per-value bucket already fixes).
+        """
+        mask = 0
+        for pair in pairs:
+            if skip_variable is not None and pair[0] == skip_variable:
+                continue
+            mask |= self.mask_of(pair)
+        return mask
+
+
+def encode_assignment(
+    codec: PairCodec, assignment: Dict[VariableId, Value]
+) -> int:
+    """Encode a plain assignment dict as a view bitset (allocating bits)."""
+    mask = 0
+    for variable, value in assignment.items():
+        mask |= codec.mask_of((variable, value))
+    return mask
+
+
+class PackedView:
+    """An integer-bitset mirror of one :class:`AgentView`.
+
+    ``bits`` has the codec bit of every pair the view currently matches.
+    :meth:`sync` is O(1) when the view has not changed (the common case
+    between two candidate-value scans) and O(changed entries) otherwise,
+    driven by the view's ``version``/``removals`` counters. Pairs *becoming*
+    matched are reported through the optional ``on_match`` callback — the
+    hook the watched-pair index uses to fire watches.
+
+    The mirror also tracks codec growth: a nogood added after the view last
+    changed may allocate bits for pairs the view already matches; those
+    bits are folded in without firing ``on_match`` (no watch can predate
+    the bit it would watch).
+    """
+
+    __slots__ = (
+        "codec",
+        "view",
+        "bits",
+        "on_match",
+        "_shadow",
+        "_synced_version",
+        "_synced_removals",
+        "_synced_codec_size",
+    )
+
+    def __init__(
+        self,
+        codec: PairCodec,
+        view: AgentView,
+        on_match: Optional[Callable[[int], None]] = None,
+    ) -> None:
+        self.codec = codec
+        self.view = view
+        self.bits = 0
+        self.on_match = on_match
+        #: The view contents the bits currently reflect.
+        self._shadow: Dict[VariableId, Value] = {}
+        self._synced_version = -1
+        self._synced_removals = view.removals
+        self._synced_codec_size = len(codec)
+
+    def matches(self, mask: int) -> bool:
+        """True when every bit of *mask* is set (i.e. every pair matched)."""
+        return mask & self.bits == mask
+
+    def pair_matched(self, bit: int) -> bool:
+        """True when the pair at codec *bit* is matched by the view."""
+        return bool((self.bits >> bit) & 1)
+
+    def sync(self) -> None:
+        """Bring ``bits`` up to date with the view (and codec growth)."""
+        codec = self.codec
+        view = self.view
+        if len(codec) != self._synced_codec_size:
+            # New bits may exist for pairs already in the shadow; fold them
+            # in silently (see class docstring).
+            for variable, value in self._shadow.items():
+                mask = codec.peek((variable, value))
+                if mask is not None:
+                    self.bits |= mask
+            self._synced_codec_size = len(codec)
+        if view.version == self._synced_version:
+            return
+        shadow = self._shadow
+        peek = codec.peek
+        fired: List[int] = []
+        for variable, value in view.items():
+            old = shadow.get(variable, _ABSENT)
+            if old is value or old == value:
+                continue
+            if old is not _ABSENT:
+                old_mask = peek((variable, old))
+                if old_mask is not None:
+                    self.bits &= ~old_mask
+            shadow[variable] = value
+            mask = peek((variable, value))
+            if mask is not None:
+                self.bits |= mask
+                fired.append(mask.bit_length() - 1)
+        if view.removals != self._synced_removals:
+            gone = [var for var in shadow if not view.knows(var)]
+            for variable in gone:
+                old_mask = peek((variable, shadow.pop(variable)))
+                if old_mask is not None:
+                    self.bits &= ~old_mask
+            self._synced_removals = view.removals
+        self._synced_version = view.version
+        if self.on_match is not None:
+            for bit in fired:
+                self.on_match(bit)
+
+    def __repr__(self) -> str:
+        return (
+            f"PackedView({len(self._shadow)} vars, "
+            f"{bin(self.bits) if self.bits < 2 ** 32 else '<bignum>'})"
+        )
+
+
+def nogood_rest_bits(
+    codec: PairCodec, nogood: Nogood, own_variable: VariableId
+) -> Tuple[int, Tuple[int, ...]]:
+    """Encode a nogood for consultation: ``(rest_mask, rest_bit_indices)``.
+
+    The *rest* is every pair not binding ``own_variable`` — the owner's own
+    pair is implied by the store bucket the nogood lives in. Bit indices
+    come back in a deterministic order (sorted by variable id, then value
+    repr) so watch selection is reproducible run to run.
+    """
+    rest_pairs = sorted(
+        (pair for pair in nogood.pairs if pair[0] != own_variable),
+        key=lambda pair: (pair[0], repr(pair[1])),
+    )
+    bits = tuple(codec.bit_of(pair) for pair in rest_pairs)
+    mask = 0
+    for bit in bits:
+        mask |= 1 << bit
+    return mask, bits

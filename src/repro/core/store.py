@@ -14,13 +14,33 @@ only sent to agents whose variable they mention), so testing a candidate
 value ``d`` touches only the bucket for ``d``. Nogoods that do not mention
 the owner (possible in multi-variable extensions) land in an unconditional
 bucket consulted for every candidate.
+
+Three interchangeable backends share this counted API (selected by the
+``--store`` axis of the experiment harness, see
+:func:`store_class_by_name`):
+
+* :class:`NogoodStore` — the default dict/bucket index;
+* :class:`LinearNogoodStore` — the unindexed ablation baseline;
+* :class:`~repro.core.watched.WatchedNogoodStore` — the bitset kernel with
+  watched-pair indexing (lazy consultation, identical counting).
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, NoReturn, Optional, Set
+import weakref
+from typing import (
+    Dict,
+    Iterator,
+    List,
+    NoReturn,
+    Optional,
+    Sequence,
+    Set,
+    Type,
+)
 
 from .assignment import AgentView
+from .exceptions import ModelError
 from .nogood import Nogood
 from .priorities import OrderKey, nogood_priority_key, order_key
 from .variables import Value, VariableId
@@ -71,6 +91,16 @@ class ReadOnlyBucket(List[Nogood]):
     sort = reverse = __setitem__ = __delitem__ = __iadd__ = __imul__ = _refuse
 
 
+class _KeyCache:
+    """One view's memoized priority keys, valid for one priority version."""
+
+    __slots__ = ("version", "keys")
+
+    def __init__(self, version: int) -> None:
+        self.version = version
+        self.keys: Dict[Nogood, OrderKey] = {}
+
+
 class NogoodStore:
     """All nogoods relevant to one agent, indexed by the owner's value.
 
@@ -86,9 +116,11 @@ class NogoodStore:
         "_by_value",
         "_unconditional",
         "_all",
-        "_key_cache",
-        "_key_cache_view",
-        "_key_cache_version",
+        "_insertion",
+        "_combined_cache",
+        "_key_caches",
+        "key_cache_hits",
+        "key_cache_misses",
     )
 
     def __init__(
@@ -99,13 +131,28 @@ class NogoodStore:
         self.own_variable = own_variable
         self.counter = counter if counter is not None else CheckCounter()
         self._by_value: Dict[Value, ReadOnlyBucket] = {}
-        self._unconditional: List[Nogood] = []
+        self._unconditional: ReadOnlyBucket = ReadOnlyBucket()
         self._all: Set[Nogood] = set()
+        #: Every nogood in add() order — the canonical store order used by
+        #: :meth:`nogoods` (and by store-backend rebinding, which must
+        #: replay adds in the original order to keep buckets bit-identical).
+        self._insertion: ReadOnlyBucket = ReadOnlyBucket()
+        #: value -> bucket+unconditional merged list, rebuilt lazily after
+        #: adds. Without this, every candidate scan in the presence of
+        #: unconditional nogoods allocated a fresh O(bucket) list.
+        self._combined_cache: Dict[Value, ReadOnlyBucket] = {}
         # Priority keys depend only on the view's priorities, which change
-        # far more rarely than checks happen; cache per (view, version).
-        self._key_cache: Dict[Nogood, OrderKey] = {}
-        self._key_cache_view: Optional[AgentView] = None
-        self._key_cache_version = -1
+        # far more rarely than checks happen; cache per view object (weakly,
+        # so dropped views free their cache) and per priority version.
+        # Keying on the view object itself — not a single latest-view slot —
+        # means algorithms that consult several views, or rebuild views per
+        # cycle, no longer thrash the cache.
+        self._key_caches: "weakref.WeakKeyDictionary[AgentView, _KeyCache]"
+        self._key_caches = weakref.WeakKeyDictionary()
+        #: Cache-effectiveness counters (observational; tests assert the
+        #: hit rate stays high across alternating views).
+        self.key_cache_hits = 0
+        self.key_cache_misses = 0
 
     # -- content management ------------------------------------------------
 
@@ -114,12 +161,16 @@ class NogoodStore:
         if nogood in self._all:
             return False
         self._all.add(nogood)
+        list.append(self._insertion, nogood)
         own_value = nogood.value_of(self.own_variable)
         if nogood.mentions(self.own_variable):
             bucket = self._by_value.setdefault(own_value, ReadOnlyBucket())
             list.append(bucket, nogood)
+            if self._unconditional:
+                self._combined_cache.pop(own_value, None)
         else:
-            self._unconditional.append(nogood)
+            list.append(self._unconditional, nogood)
+            self._combined_cache.clear()
         return True
 
     def __contains__(self, nogood: Nogood) -> bool:
@@ -129,22 +180,28 @@ class NogoodStore:
         return len(self._all)
 
     def nogoods(self) -> Iterator[Nogood]:
-        """All stored nogoods (no defined order between buckets)."""
-        return iter(self._all)
+        """All stored nogoods, in insertion order."""
+        return iter(self._insertion)
 
     def for_value(self, value: Value) -> List[Nogood]:
         """The nogoods that could be violated when the owner takes *value*.
 
         This is the bucket binding the owner to *value* plus the
-        unconditional bucket. The common path returns the internal bucket
-        itself — a :class:`ReadOnlyBucket`, so attempted mutation raises
-        instead of corrupting the index; a fresh list is built only when
-        unconditional nogoods exist.
+        unconditional bucket. Both the common path and the merged path
+        return a :class:`ReadOnlyBucket` (attempted mutation raises instead
+        of corrupting the index); the merged list is cached per value and
+        invalidated by :meth:`add`, so repeated candidate scans allocate
+        nothing.
         """
         bucket = self._by_value.get(value, _EMPTY)
         if not self._unconditional:
             return bucket
-        return list(bucket) + self._unconditional
+        combined = self._combined_cache.get(value)
+        if combined is None:
+            combined = ReadOnlyBucket(bucket)
+            list.extend(combined, self._unconditional)
+            self._combined_cache[value] = combined
+        return combined
 
     # -- evaluation (cost-counted) ----------------------------------------
 
@@ -179,26 +236,26 @@ class NogoodStore:
         Defined by the paper as the lowest-ranked variable in the nogood
         other than the owner's. Unknown variables contribute priority 0.
 
-        Keys are cached per view priority-version: they are consulted on
+        Keys are cached per (view, priority version): they are consulted on
         every candidate-value scan but only change when some priority does
         (i.e. on backtracks), which makes this the store's hottest cacheable
         computation by a wide margin.
         """
-        if (
-            self._key_cache_view is not view
-            or self._key_cache_version != view.priority_version
-        ):
-            self._key_cache = {}
-            self._key_cache_view = view
-            self._key_cache_version = view.priority_version
-        key = self._key_cache.get(nogood)
+        cache = self._key_caches.get(view)
+        if cache is None or cache.version != view.priority_version:
+            cache = _KeyCache(view.priority_version)
+            self._key_caches[view] = cache
+        key = cache.keys.get(nogood)
         if key is None:
+            self.key_cache_misses += 1
             key = nogood_priority_key(
                 (view.priority_of(variable), variable)
                 for variable in nogood.variables
                 if variable != self.own_variable
             )
-            self._key_cache[nogood] = key
+            cache.keys[nogood] = key
+        else:
+            self.key_cache_hits += 1
         return key
 
     def is_higher(
@@ -210,6 +267,29 @@ class NogoodStore:
         )
 
     # -- composite queries used by the algorithms ---------------------------
+
+    def violated(self, view: AgentView, own_value: Value) -> List[Nogood]:
+        """All stored nogoods violated with the owner at *own_value*.
+
+        One check per consulted nogood, exactly like the explicit
+        ``for_value`` + ``is_violated`` loop it replaces.
+        """
+        return [
+            nogood
+            for nogood in self.for_value(own_value)
+            if self.is_violated(nogood, view, own_value)
+        ]
+
+    def is_consistent(self, view: AgentView, own_value: Value) -> bool:
+        """True when no stored nogood is violated with the owner at *own_value*.
+
+        Short-circuits on the first violation (and stops counting checks
+        there), matching ABT's classical consistency scan.
+        """
+        for nogood in self.for_value(own_value):
+            if self.is_violated(nogood, view, own_value):
+                return False
+        return True
 
     def violated_higher(
         self,
@@ -257,10 +337,47 @@ class NogoodStore:
                 count += 1
         return count
 
+    # -- batch entry points (one pass over a candidate-value list) ----------
+
+    def violated_batch(
+        self, view: AgentView, values: Sequence[Value]
+    ) -> List[List[Nogood]]:
+        """:meth:`violated` for every candidate value, in order.
+
+        Check counting is positionally identical to calling the
+        single-value method in a loop; kernel backends override the
+        single-value methods, so batches amortize their per-call view sync.
+        """
+        return [self.violated(view, value) for value in values]
+
+    def count_violated_batch(
+        self, view: AgentView, values: Sequence[Value]
+    ) -> List[int]:
+        """:meth:`count_violated` for every candidate value, in order."""
+        return [self.count_violated(view, value) for value in values]
+
+    def violated_higher_batch(
+        self, view: AgentView, values: Sequence[Value], own_priority: int
+    ) -> List[List[Nogood]]:
+        """:meth:`violated_higher` for every candidate value, in order."""
+        return [
+            self.violated_higher(view, value, own_priority)
+            for value in values
+        ]
+
+    def count_violated_lower_batch(
+        self, view: AgentView, values: Sequence[Value], own_priority: int
+    ) -> List[int]:
+        """:meth:`count_violated_lower` for every candidate value, in order."""
+        return [
+            self.count_violated_lower(view, value, own_priority)
+            for value in values
+        ]
+
     def __repr__(self) -> str:
         return (
-            f"NogoodStore(x{self.own_variable}, {len(self._all)} nogoods, "
-            f"{self.counter.total} checks)"
+            f"{type(self).__name__}(x{self.own_variable}, "
+            f"{len(self._all)} nogoods, {self.counter.total} checks)"
         )
 
 
@@ -277,5 +394,28 @@ class LinearNogoodStore(NogoodStore):
     ``benchmarks/bench_ablation_store.py`` measures the difference.
     """
 
+    __slots__ = ()
+
     def for_value(self, value: Value) -> List[Nogood]:  # noqa: ARG002
-        return list(self._all)
+        return self._insertion
+
+
+#: The store backends selectable via ``--store`` (cf. the ``--backend``
+#: execution-engine axis): the default dict/bucket index, the unindexed
+#: ablation baseline, and the watched/bitset kernel.
+STORE_BACKENDS = ("dict", "linear", "watched")
+
+
+def store_class_by_name(name: str) -> Type[NogoodStore]:
+    """Resolve a ``--store`` backend label to its store class."""
+    if name == "dict":
+        return NogoodStore
+    if name == "linear":
+        return LinearNogoodStore
+    if name == "watched":
+        from .watched import WatchedNogoodStore
+
+        return WatchedNogoodStore
+    raise ModelError(
+        f"unknown store backend {name!r}; expected one of {STORE_BACKENDS}"
+    )

@@ -1,0 +1,623 @@
+"""The watched-pair nogood store: lazy consultation at counted-check parity.
+
+This ports the two-watched-literal scheme of the in-repo CDCL solver
+(:mod:`repro.solvers.cdcl`) from clause propagation to *nogood
+consultation*. A nogood is violated only when **all** of its pairs are
+matched by the agent's view, so a single unmatched pair proves it
+satisfied. Each stored nogood therefore *watches* up to two currently
+unmatched non-owner pairs:
+
+* while a watch is unmatched, candidate-value scans skip the nogood
+  entirely — it cannot be violated;
+* when a view change matches a watched pair (reported by
+  :class:`~repro.core.packed.PackedView`'s ``on_match`` hook), the nogood
+  looks for a replacement watch; if none exists it becomes a *suspect* and
+  joins its bucket's suspect set;
+* scans evaluate only suspects, each with one bitset mask-and-compare
+  (``mask & view_bits == mask``) instead of a python loop over pairs;
+* a suspect whose mask test fails is *rehabilitated* lazily — fresh
+  watches are installed and it leaves the suspect set until a watch fires
+  again.
+
+**Check-counting parity.** The paper counts a check whenever the reference
+store would run a violation test, and ``maxcck`` is built from per-cycle
+counter deltas — so the kernel must not change the *count* while changing
+the *work*. Every consultation method here bumps the shared
+:class:`~repro.core.store.CheckCounter` by exactly the number of tests the
+dict-indexed :class:`~repro.core.store.NogoodStore` would have run for the
+same query (bucket sizes, priority-filtered sizes, and the short-circuit
+position for consistency scans), computed in O(1)/O(log n) from the index
+— never from a scan. The golden-parity harness
+(``tools/bench_smoke.py --axis store``) asserts bit-identical trial
+results — solutions, cycles, ``maxcck``, message traces — across backends.
+
+The watched index serves the one view it first sees (an agent's store
+consults exactly its own view). Queries against any *other* view fall back
+to the reference scan, which counts identically by construction — the
+"counting parity mode" guaranteeing correctness wherever the fast path
+does not apply.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .assignment import AgentView
+from .nogood import Nogood
+from .packed import PackedView, PairCodec, nogood_rest_bits
+from .priorities import TOP_KEY, OrderKey, nogood_priority_key, order_key
+from .store import _EMPTY, CheckCounter, NogoodStore
+from .variables import Value, VariableId
+
+#: Bucket key for nogoods that do not mention the owner's variable.
+_UNCONDITIONAL = object()
+
+
+class _Record:
+    """One stored nogood's kernel state: mask, watches, suspect flag."""
+
+    __slots__ = (
+        "nogood",
+        "key",
+        "position",
+        "mask",
+        "rest",
+        "others",
+        "prio_key",
+        "watch_a",
+        "watch_b",
+        "suspect",
+    )
+
+    def __init__(
+        self,
+        nogood: Nogood,
+        key: object,
+        position: int,
+        mask: int,
+        rest: Tuple[int, ...],
+        others: Tuple[VariableId, ...],
+    ) -> None:
+        self.nogood = nogood
+        #: The owner-value bucket this record lives in (or _UNCONDITIONAL).
+        self.key = key
+        #: Index within its bucket — the reference store's scan order.
+        self.position = position
+        #: OR of the codec bits of every non-owner pair.
+        self.mask = mask
+        #: The non-owner pairs' codec bits, in deterministic order.
+        self.rest = rest
+        #: The nogood's non-owner variables (the key-defining members).
+        self.others = others
+        #: The nogood's priority key under the adopted view's current
+        #: priorities; maintained incrementally by ``_refresh_keys``.
+        self.prio_key: OrderKey = TOP_KEY
+        self.watch_a: Optional[int] = None
+        self.watch_b: Optional[int] = None
+        self.suspect = False
+
+    def __repr__(self) -> str:
+        return (
+            f"_Record({self.nogood!r}, watches=({self.watch_a}, "
+            f"{self.watch_b}), suspect={self.suspect})"
+        )
+
+
+class WatchedNogoodStore(NogoodStore):
+    """A :class:`NogoodStore` with bitset masks and watched-pair indexing.
+
+    Drop-in compatible: same counted API, bit-identical results and check
+    counts, but candidate-value scans touch only nogoods whose watches have
+    fired instead of whole buckets. Selected via ``--store watched``.
+    """
+
+    __slots__ = (
+        "_codec",
+        "_packed",
+        "_records_by_value",
+        "_records_uncond",
+        "_watchlists",
+        "_suspects",
+        "_suspects_uncond",
+        "_sorted_keys_cache",
+        "_peer_records",
+        "_known_priorities",
+        "_keys_priority_version",
+    )
+
+    def __init__(
+        self,
+        own_variable: VariableId,
+        counter: Optional[CheckCounter] = None,
+    ) -> None:
+        super().__init__(own_variable, counter)
+        self._codec = PairCodec()
+        self._packed: Optional[PackedView] = None
+        self._records_by_value: Dict[Value, List[_Record]] = {}
+        self._records_uncond: List[_Record] = []
+        #: codec bit -> records currently watching that pair. Stale entries
+        #: (left behind by demotions) are dropped lazily on the next fire.
+        self._watchlists: Dict[int, List[_Record]] = {}
+        #: owner value -> suspect records of that bucket (dict-as-set).
+        self._suspects: Dict[Value, Dict[_Record, None]] = {}
+        self._suspects_uncond: Dict[_Record, None] = {}
+        #: owner value -> sorted combined priority keys; used to compute
+        #: the reference store's higher/lower filter counts with one bisect
+        #: instead of a per-nogood key comparison. Invalidated explicitly:
+        #: by add() for the touched bucket, and by _refresh_keys() for the
+        #: buckets holding records whose key actually moved.
+        self._sorted_keys_cache: Dict[Value, List[OrderKey]] = {}
+        #: non-owner variable -> records whose nogood mentions it; the
+        #: incremental key maintenance recomputes only these on a change.
+        self._peer_records: Dict[VariableId, List[_Record]] = {}
+        #: Priorities as of the last key refresh (zero entries omitted).
+        self._known_priorities: Dict[VariableId, int] = {}
+        #: The adopted view's priority_version at the last key refresh.
+        self._keys_priority_version = -1
+
+    # -- content management ------------------------------------------------
+
+    def add(self, nogood: Nogood) -> bool:
+        """Record *nogood* and index it for watched consultation."""
+        if not super().add(nogood):
+            return False
+        mask, rest = nogood_rest_bits(self._codec, nogood, self.own_variable)
+        if self._packed is not None:
+            # Fold freshly allocated codec bits (and any pending view
+            # changes) into the bitset before choosing watches, and bring
+            # the incremental key state up to date so the new record's key
+            # is computed against refreshed priorities.
+            self._packed.sync()
+            self._refresh_keys(self._packed.view)
+        others = tuple(
+            sorted(
+                variable
+                for variable in nogood.variables
+                if variable != self.own_variable
+            )
+        )
+        if nogood.mentions(self.own_variable):
+            own_value = nogood.value_of(self.own_variable)
+            records = self._records_by_value.setdefault(own_value, [])
+            record = _Record(nogood, own_value, len(records), mask, rest, others)
+            self._sorted_keys_cache.pop(own_value, None)
+        else:
+            records = self._records_uncond
+            record = _Record(
+                nogood, _UNCONDITIONAL, len(records), mask, rest, others
+            )
+            self._sorted_keys_cache.clear()
+        records.append(record)
+        record.prio_key = self._record_key(record)
+        for variable in others:
+            self._peer_records.setdefault(variable, []).append(record)
+        self._install_watches(record)
+        return True
+
+    # -- watch machinery ----------------------------------------------------
+
+    def _install_watches(self, record: _Record) -> None:
+        """Watch up to two unmatched pairs, or become a suspect.
+
+        A single unmatched watch already proves the nogood satisfied; the
+        second watch (when a second unmatched pair exists) halves how often
+        view changes force a replacement search. Nogoods with no non-owner
+        pairs (unary on the owner, or empty) can never hold a watch and
+        stay suspects forever — they are violated whenever consulted,
+        exactly like the reference scan concludes.
+        """
+        packed = self._packed
+        first: Optional[int] = None
+        second: Optional[int] = None
+        for bit in record.rest:
+            if packed is not None and packed.pair_matched(bit):
+                continue
+            if first is None:
+                first = bit
+            else:
+                second = bit
+                break
+        if first is None:
+            self._make_suspect(record)
+            return
+        record.suspect = False
+        record.watch_a = first
+        self._watchlists.setdefault(first, []).append(record)
+        record.watch_b = second
+        if second is not None:
+            self._watchlists.setdefault(second, []).append(record)
+
+    def _make_suspect(self, record: _Record) -> None:
+        record.suspect = True
+        record.watch_a = None
+        record.watch_b = None
+        if record.key is _UNCONDITIONAL:
+            self._suspects_uncond[record] = None
+        else:
+            self._suspects.setdefault(record.key, {})[record] = None
+
+    def _fire(self, bit: int) -> None:
+        """A watched pair became matched: rewatch or demote its watchers."""
+        watching = self._watchlists.get(bit)
+        if not watching:
+            return
+        packed = self._packed
+        assert packed is not None
+        for record in watching:
+            if record.suspect:
+                continue  # stale entry from an earlier demotion
+            if record.watch_a == bit:
+                other = record.watch_b
+            elif record.watch_b == bit:
+                other = record.watch_a
+            else:
+                continue  # stale entry from an earlier replacement
+            replacement: Optional[int] = None
+            for candidate in record.rest:
+                if candidate == bit or candidate == other:
+                    continue
+                if not packed.pair_matched(candidate):
+                    replacement = candidate
+                    break
+            if replacement is None:
+                self._make_suspect(record)
+            else:
+                if record.watch_a == bit:
+                    record.watch_a = replacement
+                else:
+                    record.watch_b = replacement
+                self._watchlists.setdefault(replacement, []).append(record)
+        self._watchlists[bit] = []
+
+    def _adopt_and_sync(self, view: AgentView) -> bool:
+        """Sync the bitset mirror; False means *view* is not the tracked one."""
+        packed = self._packed
+        if packed is None:
+            packed = PackedView(self._codec, view, on_match=self._fire)
+            self._packed = packed
+        elif packed.view is not view:
+            return False
+        packed.sync()
+        return True
+
+    # -- suspect evaluation -------------------------------------------------
+
+    def _violated_bucket(self, value: Value) -> List[_Record]:
+        suspects = self._suspects.get(value)
+        if not suspects:
+            return []
+        return self._evaluate_suspects(suspects)
+
+    def _violated_uncond(self) -> List[_Record]:
+        if not self._suspects_uncond:
+            return []
+        return self._evaluate_suspects(self._suspects_uncond)
+
+    def _evaluate_suspects(
+        self, suspects: Dict[_Record, None]
+    ) -> List[_Record]:
+        """Mask-test a suspect set; rehabilitate the ones that fail."""
+        packed = self._packed
+        assert packed is not None
+        bits = packed.bits
+        violated: List[_Record] = []
+        stale: List[_Record] = []
+        for record in suspects:
+            if record.mask & bits == record.mask:
+                violated.append(record)
+            else:
+                stale.append(record)
+        for record in stale:
+            del suspects[record]
+            self._install_watches(record)
+        return violated
+
+    def _record_key(self, record: _Record) -> OrderKey:
+        """*record*'s priority key under the adopted view's priorities.
+
+        Matches :meth:`NogoodStore.priority_key_of` exactly: the minimum
+        order key over the nogood's non-owner variables, unknown variables
+        at priority 0, :data:`~repro.core.priorities.TOP_KEY` when empty.
+        """
+        if not record.others:
+            return TOP_KEY
+        packed = self._packed
+        if packed is None:
+            # No view adopted yet: every priority reads as 0.
+            return nogood_priority_key(
+                (0, variable) for variable in record.others
+            )
+        view = packed.view
+        return nogood_priority_key(
+            (view.priority_of(variable), variable)
+            for variable in record.others
+        )
+
+    def _refresh_keys(self, view: AgentView) -> None:
+        """Bring cached record keys up to date with *view*'s priorities.
+
+        Priorities move on backtracks only, so this is a no-op on the hot
+        path (one integer compare). When the version did move, only the
+        records mentioning a variable whose priority *actually changed*
+        recompute their key — the incremental analogue of the reference
+        store's per-version key cache.
+        """
+        version = view.priority_version
+        if version == self._keys_priority_version:
+            return
+        self._keys_priority_version = version
+        known = self._known_priorities
+        touched: List[_Record] = []
+        touched_buckets = set()
+        for variable, records in self._peer_records.items():
+            current = view.priority_of(variable)
+            if known.get(variable, 0) == current:
+                continue
+            if current:
+                known[variable] = current
+            else:
+                known.pop(variable, None)
+            touched.extend(records)
+        for record in touched:
+            record.prio_key = self._record_key(record)
+            touched_buckets.add(record.key)
+        if _UNCONDITIONAL in touched_buckets:
+            self._sorted_keys_cache.clear()
+        else:
+            for value in touched_buckets:
+                self._sorted_keys_cache.pop(value, None)
+
+    def _sorted_combined_keys(self, value: Value) -> List[OrderKey]:
+        """Sorted priority keys of ``for_value(value)``, cached per bucket."""
+        keys = self._sorted_keys_cache.get(value)
+        if keys is None:
+            keys = [
+                record.prio_key
+                for record in self._records_by_value.get(value, ())
+            ]
+            keys.extend(
+                record.prio_key for record in self._records_uncond
+            )
+            keys.sort()
+            self._sorted_keys_cache[value] = keys
+        return keys
+
+    def _bucket_len(self, value: Value) -> int:
+        return len(self._by_value.get(value, _EMPTY))
+
+    # -- counted consultation (fast paths) ----------------------------------
+
+    def count_violated(self, view: AgentView, own_value: Value) -> int:
+        """How many stored nogoods are violated with the owner at *own_value*."""
+        if not self._adopt_and_sync(view):
+            return super().count_violated(view, own_value)
+        total = self._bucket_len(own_value) + len(self._unconditional)
+        self.counter.bump(total)
+        return len(self._violated_bucket(own_value)) + len(
+            self._violated_uncond()
+        )
+
+    def violated(self, view: AgentView, own_value: Value) -> List[Nogood]:
+        """All violated nogoods, in the reference store's scan order."""
+        if not self._adopt_and_sync(view):
+            return super().violated(view, own_value)
+        bucket_len = self._bucket_len(own_value)
+        self.counter.bump(bucket_len + len(self._unconditional))
+        ordered = [
+            (record.position, record.nogood)
+            for record in self._violated_bucket(own_value)
+        ]
+        ordered.extend(
+            (bucket_len + record.position, record.nogood)
+            for record in self._violated_uncond()
+        )
+        ordered.sort(key=lambda item: item[0])
+        return [nogood for _position, nogood in ordered]
+
+    def is_consistent(self, view: AgentView, own_value: Value) -> bool:
+        """True when nothing is violated; counts the short-circuit prefix."""
+        if not self._adopt_and_sync(view):
+            return super().is_consistent(view, own_value)
+        bucket_len = self._bucket_len(own_value)
+        total = bucket_len + len(self._unconditional)
+        violated_bucket = self._violated_bucket(own_value)
+        if violated_bucket:
+            first = min(record.position for record in violated_bucket)
+        else:
+            violated_uncond = self._violated_uncond()
+            if violated_uncond:
+                first = bucket_len + min(
+                    record.position for record in violated_uncond
+                )
+            else:
+                self.counter.bump(total)
+                return True
+        # The reference scan stops at the first violated nogood, having
+        # tested everything up to and including it.
+        self.counter.bump(first + 1)
+        return False
+
+    def violated_higher(
+        self,
+        view: AgentView,
+        own_value: Value,
+        own_priority: int,
+    ) -> List[Nogood]:
+        """The violated higher nogoods, in the reference store's scan order.
+
+        The reference runs one counted test per *higher* nogood in the
+        bucket (lower ones are filtered by priority, uncounted); the bisect
+        over the sorted key list reproduces that count without a scan.
+        """
+        if not self._adopt_and_sync(view):
+            return super().violated_higher(view, own_value, own_priority)
+        self._refresh_keys(view)
+        my_key = order_key(own_priority, self.own_variable)
+        keys = self._sorted_combined_keys(own_value)
+        higher = len(keys) - bisect_right(keys, my_key)
+        self.counter.bump(higher)
+        if higher == 0:
+            return []
+        bucket_len = self._bucket_len(own_value)
+        ordered = [
+            (record.position, record.nogood)
+            for record in self._violated_bucket(own_value)
+            if record.prio_key > my_key
+        ]
+        ordered.extend(
+            (bucket_len + record.position, record.nogood)
+            for record in self._violated_uncond()
+            if record.prio_key > my_key
+        )
+        ordered.sort(key=lambda item: item[0])
+        return [nogood for _position, nogood in ordered]
+
+    def count_violated_lower(
+        self,
+        view: AgentView,
+        own_value: Value,
+        own_priority: int,
+    ) -> int:
+        """How many lower nogoods are violated with the owner at *own_value*."""
+        if not self._adopt_and_sync(view):
+            return super().count_violated_lower(view, own_value, own_priority)
+        self._refresh_keys(view)
+        my_key = order_key(own_priority, self.own_variable)
+        keys = self._sorted_combined_keys(own_value)
+        lower = bisect_right(keys, my_key)
+        self.counter.bump(lower)
+        if lower == 0:
+            return 0
+        count = 0
+        for record in self._violated_bucket(own_value):
+            if record.prio_key <= my_key:
+                count += 1
+        for record in self._violated_uncond():
+            if record.prio_key <= my_key:
+                count += 1
+        return count
+
+    # -- counted batch consultation -----------------------------------------
+    #
+    # The base class implements the batch entry points by looping the
+    # single-value methods, which re-syncs the bitset mirror, re-checks the
+    # key freshness, and re-evaluates the unconditional suspects once per
+    # candidate value. One ``ok?`` wave scans every candidate against the
+    # same frozen view, so all of that is loop-invariant: do it once per
+    # batch. The counter bumps are per value and identical to the base
+    # loop's, so parity is preserved bump for bump.
+
+    def violated_higher_batch(
+        self,
+        view: AgentView,
+        values: Sequence[Value],
+        own_priority: int,
+    ) -> List[List[Nogood]]:
+        if not self._adopt_and_sync(view):
+            return super().violated_higher_batch(view, values, own_priority)
+        self._refresh_keys(view)
+        my_key = order_key(own_priority, self.own_variable)
+        violated_uncond = self._violated_uncond()
+        results: List[List[Nogood]] = []
+        for own_value in values:
+            keys = self._sorted_combined_keys(own_value)
+            higher = len(keys) - bisect_right(keys, my_key)
+            self.counter.bump(higher)
+            if higher == 0:
+                results.append([])
+                continue
+            bucket_len = self._bucket_len(own_value)
+            ordered = [
+                (record.position, record.nogood)
+                for record in self._violated_bucket(own_value)
+                if record.prio_key > my_key
+            ]
+            ordered.extend(
+                (bucket_len + record.position, record.nogood)
+                for record in violated_uncond
+                if record.prio_key > my_key
+            )
+            ordered.sort(key=lambda item: item[0])
+            results.append([nogood for _position, nogood in ordered])
+        return results
+
+    def count_violated_lower_batch(
+        self,
+        view: AgentView,
+        values: Sequence[Value],
+        own_priority: int,
+    ) -> List[int]:
+        if not self._adopt_and_sync(view):
+            return super().count_violated_lower_batch(
+                view, values, own_priority
+            )
+        self._refresh_keys(view)
+        my_key = order_key(own_priority, self.own_variable)
+        uncond_lower = sum(
+            1
+            for record in self._violated_uncond()
+            if record.prio_key <= my_key
+        )
+        results: List[int] = []
+        for own_value in values:
+            keys = self._sorted_combined_keys(own_value)
+            lower = bisect_right(keys, my_key)
+            self.counter.bump(lower)
+            if lower == 0:
+                results.append(0)
+                continue
+            count = uncond_lower
+            for record in self._violated_bucket(own_value):
+                if record.prio_key <= my_key:
+                    count += 1
+            results.append(count)
+        return results
+
+    def count_violated_batch(
+        self, view: AgentView, values: Sequence[Value]
+    ) -> List[int]:
+        if not self._adopt_and_sync(view):
+            return super().count_violated_batch(view, values)
+        uncond = len(self._violated_uncond())
+        uncond_total = len(self._unconditional)
+        results: List[int] = []
+        for own_value in values:
+            self.counter.bump(self._bucket_len(own_value) + uncond_total)
+            results.append(len(self._violated_bucket(own_value)) + uncond)
+        return results
+
+    def violated_batch(
+        self, view: AgentView, values: Sequence[Value]
+    ) -> List[List[Nogood]]:
+        if not self._adopt_and_sync(view):
+            return super().violated_batch(view, values)
+        violated_uncond = self._violated_uncond()
+        uncond_total = len(self._unconditional)
+        results: List[List[Nogood]] = []
+        for own_value in values:
+            bucket_len = self._bucket_len(own_value)
+            self.counter.bump(bucket_len + uncond_total)
+            ordered = [
+                (record.position, record.nogood)
+                for record in self._violated_bucket(own_value)
+            ]
+            ordered.extend(
+                (bucket_len + record.position, record.nogood)
+                for record in violated_uncond
+            )
+            ordered.sort(key=lambda item: item[0])
+            results.append([nogood for _position, nogood in ordered])
+        return results
+
+    # -- introspection (for tests and benchmarks) ---------------------------
+
+    def suspect_count(self) -> int:
+        """How many records are currently suspects (hot set size)."""
+        return len(self._suspects_uncond) + sum(
+            len(bucket) for bucket in self._suspects.values()
+        )
+
+    def codec_width(self) -> int:
+        """How many distinct pairs have been assigned bits."""
+        return len(self._codec)

@@ -1,0 +1,768 @@
+"""Smoke benchmarks for the trial engine, the lint analyzer and the store kernel.
+
+Runs a fixed quick-scale grid of table cells twice along one axis,
+verifies the results are identical, and writes a JSON report with wall
+times, the speedup, and nogood-check throughput. ``tools/bench_smoke.py``
+is a thin shim around this module; ``repro bench`` exposes it as a CLI
+subcommand.
+
+Four axes:
+
+* ``--axis workers`` (default) — sequential vs the parallel engine;
+  writes ``BENCH_trial_engine.json``.
+* ``--axis backend`` — the synchronous cycle simulator vs the
+  discrete-event engine in parity mode; identical results are the parity
+  guarantee, the wall-time ratio is the event loop's overhead. Writes
+  ``BENCH_event_engine.json``.
+* ``--axis lint`` — two full-tree runs of the whole-program repro-lint
+  analyzer (``src/`` + ``tests/``); identical findings are the
+  determinism guarantee, and the wall time must stay under the 10 s CI
+  budget. Writes ``BENCH_lint.json``.
+* ``--axis store`` — the dict nogood store vs the watched/bitset kernel
+  (:mod:`repro.core.watched`), two legs: (a) the full d3c/d3s/d3s1 grid
+  under both backends, asserting bit-identical trial results, and (b) a
+  kernel replay microbenchmark over stores harvested from real d3c/d3s
+  trials, measuring counted checks per second on an identical workload.
+  Writes ``BENCH_store_kernel.json``; ``--gate`` fails the run if the
+  kernel's checks/sec regressed more than 20% against a committed
+  baseline report.
+
+Usage::
+
+    PYTHONPATH=src python tools/bench_smoke.py
+        [--axis workers|backend|lint|store] [--jobs N] [--output PATH]
+        [--gate [BASELINE]]
+
+The grid is deliberately small (quick-scale sizes, a few seconds per leg)
+so CI can afford it; the JSON records the machine's core count, so a
+1-core runner reporting speedup ≈ 1/overhead is expected and honest.
+
+This module lives under ``experiments/`` (not ``runtime/`` or
+``algorithms/``) deliberately: benchmarking needs wall clocks, which the
+repro-lint determinism rules ban inside the simulation layers.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import random
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..algorithms.registry import algorithm_by_name
+from ..core.nogood import Nogood
+from ..core.store import NogoodStore, store_class_by_name
+from ..core.variables import Value, VariableId
+from ..runtime.metrics import MetricsCollector
+from ..runtime.simulator import SynchronousSimulator
+from .paper import instances_for
+from .parallel import run_cell_parallel
+from .runner import (
+    random_initial_assignment,
+    run_cell,
+    synchronous_network_factory,
+    trial_parameters,
+)
+
+#: (family, n, instances, inits, algorithm label) — fixed quick-scale grid.
+GRID = (
+    ("d3c", 15, 2, 2, "AWC+Rslv"),
+    ("d3c", 15, 2, 2, "AWC+No"),
+    ("d3s", 12, 2, 2, "AWC+Rslv"),
+    ("d3s", 12, 2, 2, "AWC+No"),
+    ("d3s1", 10, 2, 2, "AWC+Rslv"),
+    ("d3s1", 10, 2, 2, "DB"),
+)
+
+MAX_CYCLES = 3_000
+MASTER_SEED = 0
+
+#: CI wall-time budget (seconds) for one full-tree lint pass.
+LINT_BUDGET_SECONDS = 10.0
+
+#: Maximum tolerated checks/sec regression for ``--gate`` (fraction).
+GATE_TOLERANCE = 0.20
+
+#: Fields that must agree between the two legs of an axis.
+MEASURE_FIELDS = (
+    "solved",
+    "cycles",
+    "maxcck",
+    "total_checks",
+    "messages_sent",
+    "assignment",
+)
+
+
+def _repo_root() -> Path:
+    """The repository root (this file lives at src/repro/experiments/)."""
+    return Path(__file__).resolve().parents[3]
+
+
+def cell_measures(cell):
+    return [
+        tuple(
+            sorted(getattr(trial, name).items())
+            if name == "assignment"
+            else getattr(trial, name)
+            for name in MEASURE_FIELDS
+        )
+        for trial in cell.trials
+    ]
+
+
+def run_grid(workers: int, backend: str = "sync", store: str = "dict"):
+    """One pass over the grid; returns (per-cell rows, totals)."""
+    rows = []
+    total_seconds = 0.0
+    total_checks = 0
+    total_trials = 0
+    for family, n, num_instances, inits, label in GRID:
+        instances = instances_for(family, n, num_instances, MASTER_SEED)
+        spec = algorithm_by_name(label)
+        started = time.perf_counter()
+        if workers > 1:
+            cell = run_cell_parallel(
+                instances,
+                spec,
+                inits_per_instance=inits,
+                master_seed=MASTER_SEED,
+                n=n,
+                max_cycles=MAX_CYCLES,
+                workers=workers,
+                backend=backend,
+                store=store,
+            )
+        else:
+            cell = run_cell(
+                instances,
+                spec,
+                inits_per_instance=inits,
+                master_seed=MASTER_SEED,
+                n=n,
+                max_cycles=MAX_CYCLES,
+                workers=1,
+                backend=backend,
+                store=store,
+            )
+        elapsed = time.perf_counter() - started
+        checks = sum(trial.total_checks for trial in cell.trials)
+        rows.append(
+            {
+                "family": family,
+                "n": n,
+                "algorithm": label,
+                "trials": cell.num_trials,
+                "wall_seconds": round(elapsed, 4),
+                "mean_cycle": round(cell.mean_cycle, 2),
+                "mean_maxcck": round(cell.mean_maxcck, 2),
+                "percent_solved": round(cell.percent_solved, 1),
+                "total_checks": checks,
+                "checks_per_second": round(checks / elapsed) if elapsed else 0,
+                "cell": cell,
+            }
+        )
+        total_seconds += elapsed
+        total_checks += checks
+        total_trials += cell.num_trials
+    return rows, {
+        "wall_seconds": round(total_seconds, 4),
+        "total_checks": total_checks,
+        "trials": total_trials,
+        "checks_per_second": (
+            round(total_checks / total_seconds) if total_seconds else 0
+        ),
+    }
+
+
+def run_lint_bench(repo_root: Path, output: str) -> int:
+    """Two full-tree lint passes: determinism check + CI wall-time budget."""
+    from ..lint.engine import DEFAULT_EXCLUDES, iter_python_files, lint_paths
+
+    paths = [str(repo_root / "src"), str(repo_root / "tests")]
+    files = list(iter_python_files(paths, excludes=list(DEFAULT_EXCLUDES)))
+    passes = []
+    findings_per_pass = []
+    for _ in range(2):
+        started = time.perf_counter()
+        findings = lint_paths(
+            paths, baseline=None, excludes=list(DEFAULT_EXCLUDES)
+        )
+        elapsed = time.perf_counter() - started
+        passes.append(round(elapsed, 4))
+        findings_per_pass.append(
+            [finding.format(show_hint=False) for finding in findings]
+        )
+    if findings_per_pass[0] != findings_per_pass[1]:
+        print("FATAL: lint findings diverge between identical passes")
+        return 1
+    slowest = max(passes)
+    budget_met = slowest <= LINT_BUDGET_SECONDS
+    report = {
+        "benchmark": "lint_smoke",
+        "paths": ["src/", "tests/"],
+        "files_linted": len(files),
+        "machine": {
+            "cpu_count": os.cpu_count() or 1,
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+        },
+        "pass_wall_seconds": passes,
+        "files_per_second": round(len(files) / slowest) if slowest else 0,
+        "findings": len(findings_per_pass[0]),
+        "budget_seconds": LINT_BUDGET_SECONDS,
+        "budget_met": budget_met,
+        "results_identical": True,
+        "note": (
+            "one whole-program pass parses every file once into a shared "
+            "ProjectGraph, then runs the file-local and inter-procedural "
+            "rules against it; the budget keeps full-tree linting viable "
+            "as a pre-commit hook and a CI gate"
+        ),
+    }
+    Path(output).write_text(json.dumps(report, indent=2) + "\n")
+    print(
+        f"lint: {len(files)} files, passes {passes[0]:.2f}s / "
+        f"{passes[1]:.2f}s, {report['findings']} finding(s), "
+        f"budget {LINT_BUDGET_SECONDS:.0f}s "
+        f"{'met' if budget_met else 'EXCEEDED'}"
+    )
+    print(f"wrote {output}")
+    if not budget_met:
+        print(
+            f"FATAL: full-tree lint took {slowest:.2f}s, over the "
+            f"{LINT_BUDGET_SECONDS:.0f}s budget"
+        )
+        return 1
+    return 0
+
+
+# -- the store-kernel axis ------------------------------------------------------
+
+#: (family, n, instances, inits, label, cycle cap) — the cells whose
+#: trials seed the kernel replay. The quick-scale d3c/d3s cells cover the
+#: small-store regime; the n=35 unique-solution 3SAT cell runs long enough
+#: to learn hundreds of nogoods per agent, which is the regime the watched
+#: index is built for (its cycle cap keeps the harvest to a few seconds).
+KERNEL_HARVEST_GRID = (
+    ("d3c", 15, 2, 2, "AWC+Rslv", MAX_CYCLES),
+    ("d3s", 12, 2, 2, "AWC+Rslv", MAX_CYCLES),
+    ("d3s1", 35, 2, 1, "AWC+Rslv", 600),
+    ("d3s1", 40, 2, 1, "AWC+Rslv", 400),
+)
+
+#: Workload shape per harvested store (see :func:`_make_workload`).
+KERNEL_ROUNDS = 60
+KERNEL_WORKLOAD_SEED = 20260807
+
+
+@dataclass(frozen=True)
+class HarvestedStore:
+    """One agent's nogood population, lifted out of finished real trials."""
+
+    family: str
+    n: int
+    own_variable: VariableId
+    own_domain: Tuple[Value, ...]
+    #: peer variable -> its domain values (for generating view updates).
+    peers: Tuple[Tuple[VariableId, Tuple[Value, ...]], ...]
+    #: union of the agent's nogoods across the cell's trials, insertion order.
+    nogoods: Tuple[Nogood, ...]
+
+
+def _harvest_stores() -> List[HarvestedStore]:
+    """Run the harvest cells' trials and merge each agent's learned nogoods.
+
+    Merging across a cell's trials yields stores of realistic *shape*
+    (initial constraints plus resolvent/learned nogoods over the same
+    neighborhood) at the population sizes longer runs reach, which is the
+    regime the watched index is built for.
+    """
+    harvested: Dict[Tuple[str, int, VariableId], Dict[Nogood, None]] = {}
+    domains: Dict[Tuple[str, int, VariableId], Tuple[Value, ...]] = {}
+    for family, n, num_instances, inits, label, cap in KERNEL_HARVEST_GRID:
+        instances = instances_for(family, n, num_instances, MASTER_SEED)
+        spec = algorithm_by_name(label)
+        for instance_index, _init_index, trial_seed in trial_parameters(
+            num_instances, inits, MASTER_SEED
+        ):
+            problem = instances[instance_index]
+            metrics = MetricsCollector()
+            initial = random_initial_assignment(problem, trial_seed)
+            agents = spec.build(problem, metrics, trial_seed, initial)
+            SynchronousSimulator(
+                problem,
+                agents,
+                network=synchronous_network_factory(trial_seed),
+                max_cycles=cap,
+                metrics=metrics,
+            ).run()
+            for agent in agents:
+                variable = agent.variable
+                key = (family, n, variable)
+                bucket = harvested.setdefault(key, {})
+                for nogood in agent.store.nogoods():
+                    bucket[nogood] = None
+                domains[key] = tuple(
+                    problem.csp.domain_of(variable).values
+                )
+                for peer in problem.csp.neighbors_of(variable):
+                    peer_key = (family, n, peer)
+                    domains.setdefault(
+                        peer_key,
+                        tuple(problem.csp.domain_of(peer).values),
+                    )
+    stores: List[HarvestedStore] = []
+    for (family, n, variable), nogood_set in sorted(
+        harvested.items(), key=lambda item: (item[0][0], item[0][1], item[0][2])
+    ):
+        nogoods = tuple(nogood_set)
+        peer_ids = sorted(
+            {
+                pair[0]
+                for nogood in nogoods
+                for pair in nogood.pairs
+                if pair[0] != variable
+            }
+        )
+        peers = tuple(
+            (peer, domains.get((family, n, peer), (False, True)))
+            for peer in peer_ids
+        )
+        if not peers or len(nogoods) < 2:
+            continue  # nothing for a view-driven workload to exercise
+        stores.append(
+            HarvestedStore(
+                family=family,
+                n=n,
+                own_variable=variable,
+                own_domain=domains[(family, n, variable)],
+                peers=peers,
+                nogoods=nogoods,
+            )
+        )
+    return stores
+
+
+#: One replay operation: (opcode, *operands). Generated once, applied to
+#: every backend, so the workloads are identical by construction.
+_Op = Tuple
+
+
+def _make_workload(store_spec: HarvestedStore, rng: random.Random) -> List[_Op]:
+    """An AWC-shaped op sequence: sparse view updates, dense value scans.
+
+    Mirrors the real hot path: each "cycle" applies a couple of ``ok?``
+    view updates, then runs the value-selection queries over the whole
+    domain (higher-nogood scan per candidate, lower-violation counts,
+    and the occasional full-scan/consistency probes of DB and ABT).
+    Priorities are sticky per peer and raised only occasionally —
+    matching AWC, where values change every ``ok?`` but priorities move
+    only on backtracks.
+    """
+    ops: List[_Op] = []
+    peers = store_spec.peers
+    values = store_spec.own_domain
+    priority = 0
+    peer_priorities: Dict[VariableId, int] = {}
+    for _ in range(KERNEL_ROUNDS):
+        for _ in range(rng.randint(1, 2)):
+            peer, peer_domain = peers[rng.randrange(len(peers))]
+            if rng.random() < 0.03:
+                peer_priorities[peer] = peer_priorities.get(peer, 0) + 1
+            ops.append(
+                (
+                    "update",
+                    peer,
+                    peer_domain[rng.randrange(len(peer_domain))],
+                    peer_priorities.get(peer, 0),
+                )
+            )
+        if rng.random() < 0.05:
+            priority += 1
+        ops.append(("violated_higher", values[0], priority))
+        ops.append(("violated_higher_batch", values, priority))
+        ops.append(("count_violated_lower_batch", values, priority))
+        probe = rng.random()
+        if probe < 0.2:
+            ops.append(("violated", values[rng.randrange(len(values))]))
+        elif probe < 0.4:
+            ops.append(("is_consistent", values[rng.randrange(len(values))]))
+        elif probe < 0.5:
+            ops.append(("count_violated", values[rng.randrange(len(values))]))
+    return ops
+
+
+def _build_store(
+    store_spec: HarvestedStore, backend: str
+) -> NogoodStore:
+    store = store_class_by_name(backend)(store_spec.own_variable)
+    for nogood in store_spec.nogoods:
+        store.add(nogood)
+    return store
+
+
+def _apply_ops(
+    store: NogoodStore,
+    ops: Sequence[_Op],
+    collect: Optional[List[object]] = None,
+) -> None:
+    """Run *ops* against *store* (and a fresh view); optionally log results.
+
+    Dispatch is a prebound method table so the harness adds as little as
+    possible on top of the store calls being measured.
+    """
+    from ..core.assignment import AgentView
+
+    view = AgentView()
+    update = view.update
+    queries = {
+        "violated_higher": store.violated_higher,
+        "count_violated_lower": store.count_violated_lower,
+        "violated_higher_batch": store.violated_higher_batch,
+        "count_violated_lower_batch": store.count_violated_lower_batch,
+        "violated": store.violated,
+        "is_consistent": store.is_consistent,
+        "count_violated": store.count_violated,
+    }
+    log = collect.append if collect is not None else None
+    for op in ops:
+        code = op[0]
+        if code == "update":
+            update(op[1], op[2], op[3])
+            continue
+        result = queries[code](view, *op[1:])
+        if log is not None:
+            log(result)
+
+
+def _replay_backend(
+    specs: Sequence[HarvestedStore],
+    workloads: Sequence[Sequence[_Op]],
+    backend: str,
+) -> Tuple[float, int]:
+    """One timed replay pass: (elapsed seconds, counted checks)."""
+    stores = [_build_store(spec, backend) for spec in specs]
+    started = time.perf_counter()
+    for store, ops in zip(stores, workloads):
+        _apply_ops(store, ops)
+    elapsed = time.perf_counter() - started
+    checks = sum(store.counter.total for store in stores)
+    return elapsed, checks
+
+
+def _verify_replay_parity(
+    specs: Sequence[HarvestedStore],
+    workloads: Sequence[Sequence[_Op]],
+    backends: Sequence[str],
+) -> None:
+    """Untimed full-result comparison of every backend on the workload.
+
+    Every backend must return identical query results. The counting
+    contract is asymmetric: ``watched`` must count *exactly* what
+    ``dict`` counts (bit-identical parity), while ``linear`` — the
+    no-indexing reference — may only count *more* (it runs every test
+    the indexed stores skip).
+    """
+    reference: Optional[List[object]] = None
+    reference_checks: Optional[int] = None
+    for backend in backends:
+        results: List[object] = []
+        checks = 0
+        for spec, ops in zip(specs, workloads):
+            store = _build_store(spec, backend)
+            _apply_ops(store, ops, collect=results)
+            checks += store.counter.total
+        if reference is None:
+            reference, reference_checks = results, checks
+            continue
+        if results != reference:
+            raise AssertionError(
+                f"store backend {backend!r} diverges from "
+                f"{backends[0]!r} on the replay workload"
+            )
+        assert reference_checks is not None
+        if backend == "linear":
+            if checks < reference_checks:
+                raise AssertionError(
+                    f"linear store counted {checks} checks, fewer than "
+                    f"{backends[0]!r}'s {reference_checks}"
+                )
+        elif checks != reference_checks:
+            raise AssertionError(
+                f"store backend {backend!r} counted {checks} checks; "
+                f"{backends[0]!r} counted {reference_checks}"
+            )
+
+
+def run_store_bench(output: str, gate: Optional[str]) -> int:
+    """The ``--axis store`` benchmark: grid parity + kernel replay."""
+    print(
+        f"bench_smoke: store axis — {len(GRID)} grid cells dict vs "
+        "watched (parity), then the kernel replay microbenchmark"
+    )
+    baseline_rows, baseline_totals = run_grid(workers=1, store="dict")
+    candidate_rows, candidate_totals = run_grid(workers=1, store="watched")
+    mismatches = [
+        f"{s['family']}-n{s['n']}-{s['algorithm']}"
+        for s, p in zip(baseline_rows, candidate_rows)
+        if cell_measures(s.pop("cell")) != cell_measures(p.pop("cell"))
+    ]
+    if mismatches:
+        print(f"FATAL: watched-store results diverge from dict: {mismatches}")
+        return 1
+
+    specs = _harvest_stores()
+    rng = random.Random(KERNEL_WORKLOAD_SEED)
+    workloads = [_make_workload(spec, rng) for spec in specs]
+    _verify_replay_parity(specs, workloads, ("dict", "watched", "linear"))
+    kernel: Dict[str, Dict[str, object]] = {}
+    for backend in ("dict", "watched"):
+        # Two passes, keep the faster (cold-start effects out of the gate).
+        passes = [
+            _replay_backend(specs, workloads, backend) for _ in range(2)
+        ]
+        elapsed, checks = min(passes)
+        best = min(p[0] for p in passes)
+        kernel[backend] = {
+            "wall_seconds": round(best, 4),
+            "counted_checks": checks,
+            "checks_per_second": round(checks / best) if best else 0,
+        }
+    dict_cps = int(kernel["dict"]["checks_per_second"])  # type: ignore[arg-type]
+    watched_cps = int(kernel["watched"]["checks_per_second"])  # type: ignore[arg-type]
+    kernel_speedup = watched_cps / dict_cps if dict_cps else 0.0
+    grid_speedup = (
+        baseline_totals["wall_seconds"] / candidate_totals["wall_seconds"]
+        if candidate_totals["wall_seconds"]
+        else 0.0
+    )
+
+    report = {
+        "benchmark": "store_kernel",
+        "machine": {
+            "cpu_count": os.cpu_count() or 1,
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+        },
+        "grid_parity": {
+            "max_cycles": MAX_CYCLES,
+            "master_seed": MASTER_SEED,
+            "dict": {"cells": baseline_rows, "totals": baseline_totals},
+            "watched": {"cells": candidate_rows, "totals": candidate_totals},
+            "speedup": round(grid_speedup, 3),
+        },
+        "kernel_replay": {
+            "stores": len(specs),
+            "total_nogoods": sum(len(spec.nogoods) for spec in specs),
+            "largest_store": max(
+                (len(spec.nogoods) for spec in specs), default=0
+            ),
+            "rounds_per_store": KERNEL_ROUNDS,
+            "workload_seed": KERNEL_WORKLOAD_SEED,
+            "harvested_from": [
+                {"family": family, "n": n, "algorithm": label, "cap": cap}
+                for family, n, _i, _j, label, cap in KERNEL_HARVEST_GRID
+            ],
+            **kernel,
+            "speedup": round(kernel_speedup, 2),
+        },
+        "speedup": round(kernel_speedup, 2),
+        "results_identical": True,
+        "note": (
+            "grid_parity reruns the full quick-scale grid under both store "
+            "backends and asserts bit-identical trial results (the counting "
+            "parity guarantee); kernel_replay times an identical AWC-shaped "
+            "workload over nogood stores harvested from real d3c/d3s "
+            "trials — both backends count the same checks, so checks/sec "
+            "compares pure consultation speed"
+        ),
+    }
+    Path(output).write_text(json.dumps(report, indent=2) + "\n")
+    print(
+        f"grid parity: dict {baseline_totals['wall_seconds']:.2f}s, watched "
+        f"{candidate_totals['wall_seconds']:.2f}s "
+        f"(trial speedup {grid_speedup:.2f}x), results identical"
+    )
+    print(
+        f"kernel replay: {len(specs)} stores, dict {dict_cps:,} checks/s, "
+        f"watched {watched_cps:,} checks/s, speedup {kernel_speedup:.1f}x"
+    )
+    print(f"wrote {output}")
+    if gate is not None:
+        return check_gate(gate, watched_cps)
+    return 0
+
+
+def check_gate(baseline_path: str, measured_cps: int) -> int:
+    """Fail if *measured_cps* dropped >20% below the committed baseline."""
+    path = Path(baseline_path)
+    if not path.exists():
+        print(f"gate: no baseline at {baseline_path}; skipping comparison")
+        return 0
+    baseline = json.loads(path.read_text())
+    try:
+        baseline_cps = int(
+            baseline["kernel_replay"]["watched"]["checks_per_second"]
+        )
+    except (KeyError, TypeError, ValueError):
+        print(f"FATAL: {baseline_path} is not a store-kernel report")
+        return 1
+    floor = baseline_cps * (1.0 - GATE_TOLERANCE)
+    print(
+        f"gate: measured {measured_cps:,} checks/s vs baseline "
+        f"{baseline_cps:,} (floor {floor:,.0f})"
+    )
+    if measured_cps < floor:
+        print(
+            f"FATAL: watched-kernel checks/sec regressed more than "
+            f"{GATE_TOLERANCE:.0%} vs {baseline_path}"
+        )
+        return 1
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--axis",
+        choices=("workers", "backend", "lint", "store"),
+        default="workers",
+        help="what to compare: sequential vs parallel execution, the "
+        "sync vs event-driven engines (both legs sequential), two "
+        "passes of the whole-program lint analyzer, or the dict vs "
+        "watched/bitset nogood-store backends",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="workers for the parallel leg of --axis workers "
+        "(default: min(4, cores))",
+    )
+    parser.add_argument(
+        "--output",
+        default=None,
+        help="where to write the JSON report (default: "
+        "BENCH_trial_engine.json / BENCH_event_engine.json / "
+        "BENCH_lint.json / BENCH_store_kernel.json by axis)",
+    )
+    parser.add_argument(
+        "--gate",
+        nargs="?",
+        const="",
+        default=None,
+        metavar="BASELINE",
+        help="(--axis store) fail if watched checks/sec drops more than "
+        "20%% below the BASELINE report (default: the committed "
+        "BENCH_store_kernel.json)",
+    )
+    args = parser.parse_args(argv)
+    cores = os.cpu_count() or 1
+    jobs = args.jobs if args.jobs is not None else min(4, cores)
+    repo_root = _repo_root()
+
+    if args.axis == "lint":
+        output = args.output or str(repo_root / "BENCH_lint.json")
+        return run_lint_bench(repo_root, output)
+
+    if args.axis == "store":
+        output = args.output or str(repo_root / "BENCH_store_kernel.json")
+        gate = args.gate
+        if gate == "":
+            gate = str(repo_root / "BENCH_store_kernel.json")
+        return run_store_bench(output, gate)
+
+    if args.axis == "backend":
+        output = args.output or str(repo_root / "BENCH_event_engine.json")
+        print(
+            f"bench_smoke: {len(GRID)} cells, sync simulator vs "
+            "event-driven engine (parity mode, sequential)"
+        )
+        baseline_name, candidate_name = "sync", "events"
+        baseline_rows, baseline_totals = run_grid(workers=1, backend="sync")
+        candidate_rows, candidate_totals = run_grid(
+            workers=1, backend="events"
+        )
+        benchmark = "event_engine_smoke"
+        diverge_message = "event-driven results diverge from sync (parity)"
+        note = (
+            "both legs are sequential; identical results are the parity "
+            "guarantee of the unit-latency event engine, and the speedup "
+            "(sync wall time / events wall time) is the discrete-event "
+            "loop's overhead relative to lockstep cycles"
+        )
+        extra = {}
+    else:
+        output = args.output or str(repo_root / "BENCH_trial_engine.json")
+        print(
+            f"bench_smoke: {len(GRID)} cells, sequential vs {jobs} workers "
+            f"({cores} cores available)"
+        )
+        baseline_name, candidate_name = "sequential", "parallel"
+        baseline_rows, baseline_totals = run_grid(workers=1)
+        candidate_rows, candidate_totals = run_grid(workers=jobs)
+        benchmark = "trial_engine_smoke"
+        diverge_message = "parallel results diverge from sequential"
+        note = (
+            "speedup is bounded by physical cores: with "
+            f"{cores} core(s) available, {jobs} workers can at best "
+            f"approach {min(jobs, cores)}x minus pool overhead"
+        )
+        extra = {"workers": jobs}
+
+    mismatches = [
+        f"{s['family']}-n{s['n']}-{s['algorithm']}"
+        for s, p in zip(baseline_rows, candidate_rows)
+        if cell_measures(s.pop("cell")) != cell_measures(p.pop("cell"))
+    ]
+    if mismatches:
+        print(f"FATAL: {diverge_message}: {mismatches}")
+        return 1
+
+    speedup = (
+        baseline_totals["wall_seconds"] / candidate_totals["wall_seconds"]
+        if candidate_totals["wall_seconds"]
+        else 0.0
+    )
+    report = {
+        "benchmark": benchmark,
+        "grid": [
+            {
+                "family": family,
+                "n": n,
+                "instances": instances,
+                "inits": inits,
+                "algorithm": label,
+            }
+            for family, n, instances, inits, label in GRID
+        ],
+        "max_cycles": MAX_CYCLES,
+        "master_seed": MASTER_SEED,
+        "machine": {
+            "cpu_count": cores,
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+        },
+        **extra,
+        baseline_name: {"cells": baseline_rows, "totals": baseline_totals},
+        candidate_name: {"cells": candidate_rows, "totals": candidate_totals},
+        "speedup": round(speedup, 3),
+        "results_identical": True,
+        "note": note,
+    }
+    Path(output).write_text(json.dumps(report, indent=2) + "\n")
+    print(
+        f"{baseline_name} {baseline_totals['wall_seconds']:.2f}s "
+        f"({baseline_totals['checks_per_second']:,} checks/s), "
+        f"{candidate_name} {candidate_totals['wall_seconds']:.2f}s "
+        f"({candidate_totals['checks_per_second']:,} checks/s), "
+        f"speedup {speedup:.2f}x"
+    )
+    print(f"wrote {output}")
+    return 0

@@ -254,6 +254,7 @@ def run_table_cell(
     max_cycles: int,
     workers: Optional[int] = None,
     backend: str = "sync",
+    store: str = "dict",
 ) -> CellResult:
     """One (family, n, algorithm) cell at the given trial counts.
 
@@ -262,7 +263,8 @@ def run_table_cell(
     identical either way. ``backend`` selects the execution engine
     (``"sync"`` or ``"events"``; the latter runs in parity mode here, so
     the table values are identical by construction — see
-    :mod:`repro.runtime.events`).
+    :mod:`repro.runtime.events`). ``store`` selects the nogood-store
+    backend the same way (also result-identical by construction).
     """
     instances = instances_for(family, n, num_instances, seed)
     return run_cell(
@@ -274,6 +276,7 @@ def run_table_cell(
         max_cycles=max_cycles,
         workers=workers,
         backend=backend,
+        store=store,
     )
 
 
@@ -283,6 +286,7 @@ def run_table(
     seed: Seed = 0,
     workers: Optional[int] = None,
     backend: str = "sync",
+    store: str = "dict",
 ) -> Table:
     """Reproduce one of Tables 1–3 / 5–10."""
     if number == 4:
@@ -309,6 +313,7 @@ def run_table(
                 scale.max_cycles,
                 workers=workers,
                 backend=backend,
+                store=store,
             )
             table.add(TableRow.from_cell(cell))
     return table
@@ -319,6 +324,7 @@ def run_table4(
     seed: Seed = 0,
     workers: Optional[int] = None,
     backend: str = "sync",
+    store: str = "dict",
 ) -> List[Table]:
     """Reproduce Table 4: redundant nogood generations, rec vs norec.
 
@@ -347,6 +353,7 @@ def run_table4(
                     scale.max_cycles,
                     workers=workers,
                     backend=backend,
+                    store=store,
                 )
                 table.add(
                     TableRow.from_cell(

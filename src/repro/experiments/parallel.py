@@ -122,6 +122,7 @@ def _init_worker(
     network_factory: NetworkFactory,
     backend: str = "sync",
     transport_factory: Optional[TransportFactory] = None,
+    store: str = "dict",
 ) -> None:
     kind, payload = algorithm_ref
     algorithm = (
@@ -133,6 +134,7 @@ def _init_worker(
     _WORKER["network_factory"] = network_factory
     _WORKER["backend"] = backend
     _WORKER["transport_factory"] = transport_factory
+    _WORKER["store"] = store
 
 
 def _run_trial_task(
@@ -146,6 +148,7 @@ def _run_trial_task(
         network_factory=_WORKER["network_factory"],
         backend=_WORKER["backend"],
         transport_factory=_WORKER["transport_factory"],
+        store=_WORKER["store"],
     )
     return trial_index, result
 
@@ -164,6 +167,7 @@ def run_cell_parallel(
     workers: Optional[int] = None,
     backend: str = "sync",
     transport_factory: Optional[TransportFactory] = None,
+    store: str = "dict",
 ) -> CellResult:
     """One cell, trials distributed over *workers* processes.
 
@@ -173,7 +177,8 @@ def run_cell_parallel(
     when the algorithm or network factory cannot be shipped to workers,
     and silently when one worker would gain nothing. The ``backend`` /
     ``transport_factory`` pair travels to the workers like the network
-    factory does, so event-driven cells parallelize identically.
+    factory does, so event-driven cells parallelize identically; the
+    ``store`` backend label is a plain string and ships the same way.
     """
     effective = resolve_workers(workers)
     tasks = list(
@@ -190,6 +195,7 @@ def run_cell_parallel(
             network_factory,
             backend,
             transport_factory,
+            store,
         )
     algorithm_ref = _algorithm_reference(algorithm)
     shippable = (
@@ -216,6 +222,7 @@ def run_cell_parallel(
             network_factory,
             backend,
             transport_factory,
+            store,
         )
     effective = min(effective, len(tasks))
     results: List[Optional[RunResult]] = [None] * len(tasks)
@@ -229,6 +236,7 @@ def run_cell_parallel(
             network_factory,
             backend,
             transport_factory,
+            store,
         ),
     ) as pool:
         futures = [
@@ -258,6 +266,7 @@ def _run_sequentially(
     network_factory: NetworkFactory,
     backend: str = "sync",
     transport_factory: Optional[TransportFactory] = None,
+    store: str = "dict",
 ) -> CellResult:
     return _runner.run_cell(
         instances,
@@ -270,4 +279,5 @@ def _run_sequentially(
         workers=1,
         backend=backend,
         transport_factory=transport_factory,
+        store=store,
     )

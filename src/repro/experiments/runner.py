@@ -25,6 +25,7 @@ from typing import (
 from ..algorithms.registry import AlgorithmSpec
 from ..core.exceptions import ModelError
 from ..core.problem import DisCSP
+from ..core.store import STORE_BACKENDS, store_class_by_name
 from ..core.variables import Value, VariableId
 from ..runtime.events import EventDrivenSimulator, InProcessTransportFactory
 from ..runtime.events.transport import TransportFactory
@@ -131,6 +132,7 @@ def run_trial(
     backend: str = "sync",
     transport_factory: Optional[TransportFactory] = None,
     tracer: Optional["TraceRecorder"] = None,
+    store: str = "dict",
 ) -> RunResult:
     """One trial: build agents, simulate, return the run's measurements.
 
@@ -143,14 +145,31 @@ def run_trial(
     non-default ``network_factory`` with the events backend (or a
     ``transport_factory`` with the sync backend) is rejected rather than
     silently ignored.
+
+    ``store`` selects the nogood-store backend (``"dict"``, ``"linear"``
+    or ``"watched"``; see :data:`~repro.core.store.STORE_BACKENDS`). The
+    search trajectory — solved, cycles, assignment — is identical across
+    all backends, and ``"watched"`` additionally counts checks exactly as
+    ``"dict"`` does, so those two produce bit-identical results (which the
+    store-kernel benchmark asserts). The ``"linear"`` reference runs every
+    test the indexes skip, so its check counts are an upper bound.
     """
     if backend not in BACKENDS:
         raise ModelError(
             f"unknown backend {backend!r}; expected one of {BACKENDS}"
         )
+    if store not in STORE_BACKENDS:
+        raise ModelError(
+            f"unknown store backend {store!r}; expected one of "
+            f"{STORE_BACKENDS}"
+        )
     metrics = MetricsCollector()
     initial = random_initial_assignment(problem, seed)
     agents = algorithm.build(problem, metrics, seed, initial)
+    if store != "dict":
+        store_class = store_class_by_name(store)
+        for agent in agents:
+            agent.rebind_store(store_class)
     if backend == "events":
         if network_factory is not synchronous_network_factory:
             raise ModelError(
@@ -271,6 +290,7 @@ def run_cell(
     workers: Optional[int] = None,
     backend: str = "sync",
     transport_factory: Optional[TransportFactory] = None,
+    store: str = "dict",
 ) -> CellResult:
     """One cell: every instance × every initial-value set.
 
@@ -281,8 +301,8 @@ def run_cell(
     out to a process pool via :mod:`repro.experiments.parallel`; results are
     identical to the sequential path apart from timing fields.
 
-    ``backend``/``transport_factory`` select the execution engine per
-    trial; see :func:`run_trial`.
+    ``backend``/``transport_factory``/``store`` select the execution
+    engine and nogood-store backend per trial; see :func:`run_trial`.
     """
     from .parallel import resolve_workers, run_cell_parallel
 
@@ -298,6 +318,7 @@ def run_cell(
             workers=workers,
             backend=backend,
             transport_factory=transport_factory,
+            store=store,
         )
     cell = CellResult(label=algorithm.name, n=n)
     for instance_index, _init_index, trial_seed in trial_parameters(
@@ -312,6 +333,7 @@ def run_cell(
                 network_factory=network_factory,
                 backend=backend,
                 transport_factory=transport_factory,
+                store=store,
             )
         )
     return cell

@@ -17,11 +17,11 @@ accounting) airtight.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Type
 
 from ..core.exceptions import UnsolvableError
 from ..core.problem import AgentId
-from ..core.store import CheckCounter
+from ..core.store import CheckCounter, NogoodStore
 from ..core.variables import Value, VariableId
 from .messages import Message, Outgoing
 
@@ -49,6 +49,17 @@ class SimulatedAgent(ABC):
     @abstractmethod
     def local_assignment(self) -> Dict[VariableId, Value]:
         """The agent's current values for the variables it owns."""
+
+    def rebind_store(self, store_class: Type[NogoodStore]) -> None:
+        """Swap this agent's nogood store implementation, keeping contents.
+
+        The experiment runner calls this right after building the agents to
+        apply the ``--store`` backend axis. The default is a no-op: agents
+        without a nogood store (or with bespoke storage) simply ignore the
+        request. Subclasses that own stores must rebuild them with the same
+        check counter and re-add every nogood in insertion order, so the
+        swap is invisible to the cost accounting.
+        """
 
     def has_pending_work(self) -> bool:
         """True when the agent needs another step even without new mail.

@@ -1,0 +1,178 @@
+"""The bitset data layer: pair codec, packed views, nogood rest masks."""
+
+from repro.core.assignment import AgentView
+from repro.core.nogood import Nogood
+from repro.core.packed import (
+    PackedView,
+    PairCodec,
+    encode_assignment,
+    nogood_rest_bits,
+)
+
+
+class TestPairCodec:
+    def test_bits_are_allocated_on_first_use_and_stable(self):
+        codec = PairCodec()
+        first = codec.mask_of((1, 0))
+        second = codec.mask_of((2, 1))
+        assert first != second
+        assert codec.mask_of((1, 0)) == first
+        assert len(codec) == 2
+
+    def test_peek_does_not_allocate(self):
+        codec = PairCodec()
+        assert codec.peek((3, 0)) is None
+        assert len(codec) == 0
+        codec.mask_of((3, 0))
+        assert codec.peek((3, 0)) == codec.mask_of((3, 0))
+
+    def test_masks_are_single_distinct_bits(self):
+        codec = PairCodec()
+        masks = [codec.mask_of((v, 0)) for v in range(12)]
+        combined = 0
+        for mask in masks:
+            assert mask & (mask - 1) == 0  # power of two
+            assert combined & mask == 0  # no overlap
+            combined |= mask
+
+    def test_encode_skips_the_owner_variable(self):
+        codec = PairCodec()
+        mask = codec.encode([(0, 1), (1, 0), (2, 1)], skip_variable=0)
+        assert mask == codec.mask_of((1, 0)) | codec.mask_of((2, 1))
+        assert codec.peek((0, 1)) is None
+
+    def test_same_value_different_variables_get_distinct_bits(self):
+        codec = PairCodec()
+        assert codec.mask_of((1, 0)) != codec.mask_of((2, 0))
+
+
+class TestEncodeAssignment:
+    def test_or_of_pair_masks(self):
+        codec = PairCodec()
+        mask = encode_assignment(codec, {1: 0, 2: 1})
+        assert mask == codec.mask_of((1, 0)) | codec.mask_of((2, 1))
+
+
+class TestNogoodRestBits:
+    def test_owner_pair_is_excluded(self):
+        codec = PairCodec()
+        nogood = Nogood.of((0, 1), (1, 0), (2, 1))
+        mask, bits = nogood_rest_bits(codec, nogood, 0)
+        assert len(bits) == 2
+        assert mask == sum(1 << bit for bit in bits)
+        assert codec.peek((0, 1)) is None
+
+    def test_bit_order_is_deterministic(self):
+        nogood = Nogood.of((3, 1), (1, 0), (2, 1))
+        runs = []
+        for _ in range(3):
+            codec = PairCodec()
+            runs.append(nogood_rest_bits(codec, nogood, 0))
+        assert runs[0] == runs[1] == runs[2]
+
+    def test_unary_on_owner_has_empty_rest(self):
+        codec = PairCodec()
+        mask, bits = nogood_rest_bits(codec, Nogood.of((0, 1)), 0)
+        assert mask == 0
+        assert bits == ()
+
+
+class TestPackedView:
+    def test_sync_mirrors_view_updates(self):
+        codec = PairCodec()
+        bit_a = codec.mask_of((1, 0))
+        bit_b = codec.mask_of((2, 1))
+        view = AgentView()
+        packed = PackedView(codec, view)
+        packed.sync()
+        assert packed.bits == 0
+        view.update(1, 0, 0)
+        packed.sync()
+        assert packed.bits == bit_a
+        view.update(2, 1, 0)
+        packed.sync()
+        assert packed.bits == bit_a | bit_b
+
+    def test_value_change_clears_the_old_pair_bit(self):
+        codec = PairCodec()
+        old = codec.mask_of((1, 0))
+        new = codec.mask_of((1, 1))
+        view = AgentView()
+        view.update(1, 0, 0)
+        packed = PackedView(codec, view)
+        packed.sync()
+        assert packed.bits == old
+        view.update(1, 1, 0)
+        packed.sync()
+        assert packed.bits == new
+
+    def test_forget_clears_the_bit(self):
+        codec = PairCodec()
+        mask = codec.mask_of((1, 0))
+        view = AgentView()
+        view.update(1, 0, 0)
+        packed = PackedView(codec, view)
+        packed.sync()
+        assert packed.bits == mask
+        view.forget(1)
+        packed.sync()
+        assert packed.bits == 0
+
+    def test_unencoded_pairs_are_ignored(self):
+        codec = PairCodec()
+        codec.mask_of((1, 0))
+        view = AgentView()
+        view.update(9, 3, 0)  # no nogood mentions this pair: no bit
+        packed = PackedView(codec, view)
+        packed.sync()
+        assert packed.bits == 0
+
+    def test_on_match_fires_only_for_newly_matched_bits(self):
+        codec = PairCodec()
+        bit_a = codec.bit_of((1, 0))
+        fired = []
+        view = AgentView()
+        packed = PackedView(codec, view, on_match=fired.append)
+        view.update(1, 0, 0)
+        packed.sync()
+        assert fired == [bit_a]
+        packed.sync()  # no change: no re-fire
+        assert fired == [bit_a]
+
+    def test_codec_growth_folds_in_without_firing(self):
+        codec = PairCodec()
+        view = AgentView()
+        view.update(1, 0, 0)
+        fired = []
+        packed = PackedView(codec, view, on_match=fired.append)
+        packed.sync()
+        assert packed.bits == 0 and fired == []
+        # A nogood added later allocates a bit for the already-known pair.
+        mask = codec.mask_of((1, 0))
+        packed.sync()
+        assert packed.bits == mask
+        assert fired == []  # silent fold: no watch can predate the bit
+
+    def test_matches_and_pair_matched(self):
+        codec = PairCodec()
+        mask = codec.mask_of((1, 0))
+        bit = codec.bit_of((1, 0))
+        view = AgentView()
+        view.update(1, 0, 0)
+        packed = PackedView(codec, view)
+        packed.sync()
+        assert packed.matches(mask)
+        assert packed.pair_matched(bit)
+        assert packed.matches(0)  # empty mask always matches
+
+    def test_sync_is_noop_without_version_change(self):
+        codec = PairCodec()
+        codec.mask_of((1, 0))
+        view = AgentView()
+        view.update(1, 0, 0)
+        packed = PackedView(codec, view)
+        packed.sync()
+        before = packed.bits
+        packed.sync()
+        packed.sync()
+        assert packed.bits == before

@@ -208,12 +208,27 @@ class TestReadOnlyBuckets:
         other = NogoodStore(own_variable=1)
         assert other.for_value(0) == []
 
-    def test_unconditional_merge_is_a_fresh_list(self):
+    def test_unconditional_merge_is_cached_and_immutable(self):
         unconditional = Nogood.of((1, 1), (2, 1))
         self.store.add(unconditional)
         merged = self.store.for_value(0)
-        merged.append(Nogood.of((0, 5)))  # plain list: mutation is harmless
+        with pytest.raises(TypeError):
+            merged.append(Nogood.of((0, 5)))
         assert self.store.for_value(0) == [self.indexed, unconditional]
+        # The merge is cached: repeat scans reuse the same list object.
+        assert self.store.for_value(0) is merged
+
+    def test_unconditional_merge_cache_invalidated_on_add(self):
+        self.store.add(Nogood.of((1, 1), (2, 1)))
+        before = self.store.for_value(0)
+        later = Nogood.of((0, 0), (3, 0))
+        self.store.add(later)
+        after = self.store.for_value(0)
+        assert after is not before
+        assert list(after) == [self.indexed, later, Nogood.of((1, 1), (2, 1))]
+        another_uncond = Nogood.of((4, 1), (5, 1))
+        self.store.add(another_uncond)
+        assert list(self.store.for_value(0))[-1] == another_uncond
 
     def test_store_can_still_grow_after_handing_out_buckets(self):
         bucket = self.store.for_value(0)

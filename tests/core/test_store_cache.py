@@ -92,3 +92,55 @@ class TestCacheCorrectness:
         assert not store.is_higher(nogood, view, own_priority=0)
         view.update(3, 1, 1)
         assert store.is_higher(nogood, view, own_priority=0)
+
+
+class TestCacheHitRate:
+    """The per-view key cache must not thrash when views alternate.
+
+    A single latest-view cache slot would miss on every query here; the
+    per-view (weak) cache misses once per nogood per view and hits ever
+    after. The observational hit/miss counters pin that behaviour.
+    """
+
+    def make_store(self, count=20):
+        store = NogoodStore(own_variable=0)
+        for peer in range(1, count + 1):
+            store.add(Nogood.of((0, 0), (peer, 1)))
+        return store
+
+    def test_alternating_views_keep_a_high_hit_rate(self):
+        store = self.make_store()
+        first = fresh({1: (1, 2)})
+        second = fresh({1: (1, 3)})
+        for _round in range(10):
+            for view in (first, second):
+                store.violated_higher(view, 0, 0)
+        # One cold miss per nogood per view; everything else must hit.
+        assert store.key_cache_misses == 2 * 20
+        assert store.key_cache_hits == 2 * 9 * 20
+        total = store.key_cache_hits + store.key_cache_misses
+        assert store.key_cache_hits / total >= 0.9
+
+    def test_priority_change_invalidates_only_that_view(self):
+        store = self.make_store()
+        first = fresh({1: (1, 2)})
+        second = fresh({1: (1, 3)})
+        store.violated_higher(first, 0, 0)
+        store.violated_higher(second, 0, 0)
+        misses_after_warmup = store.key_cache_misses
+        first.update(1, 1, 9)  # bump first's priority version only
+        store.violated_higher(first, 0, 0)
+        store.violated_higher(second, 0, 0)
+        # first re-misses its 20 keys; second stays fully cached.
+        assert store.key_cache_misses == misses_after_warmup + 20
+        assert store.key_cache_hits == 20
+
+    def test_value_changes_do_not_invalidate(self):
+        store = self.make_store()
+        view = fresh({1: (1, 2)})
+        store.violated_higher(view, 0, 0)
+        misses = store.key_cache_misses
+        for value in (0, 1, 0, 1):
+            view.update(1, value, 2)  # value churn, same priority
+            store.violated_higher(view, 0, 0)
+        assert store.key_cache_misses == misses

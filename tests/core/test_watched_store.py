@@ -1,0 +1,242 @@
+"""The watched-pair kernel: watch invariants, suspects, counting parity."""
+
+import random
+
+from repro.core.assignment import AgentView
+from repro.core.nogood import Nogood
+from repro.core.store import CheckCounter, LinearNogoodStore, NogoodStore
+from repro.core.watched import WatchedNogoodStore
+
+
+def both_stores(own=0):
+    return NogoodStore(own), WatchedNogoodStore(own)
+
+
+class TestWatchInvariants:
+    def test_fresh_nogood_watches_unmatched_pairs(self):
+        store = WatchedNogoodStore(0)
+        view = AgentView()
+        store.count_violated(view, 0)  # adopt the view
+        store.add(Nogood.of((0, 0), (1, 1), (2, 1)))
+        assert store.suspect_count() == 0
+
+    def test_unary_owner_nogood_is_a_permanent_suspect(self):
+        store = WatchedNogoodStore(0)
+        store.add(Nogood.of((0, 1)))
+        assert store.suspect_count() == 1
+        view = AgentView()
+        assert store.violated(view, 1) == [Nogood.of((0, 1))]
+        assert store.violated(view, 0) == []
+        # Still a suspect: it has no non-owner pair to watch.
+        assert store.suspect_count() == 1
+
+    def test_fully_matched_nogood_becomes_suspect(self):
+        store = WatchedNogoodStore(0)
+        view = AgentView()
+        nogood = Nogood.of((0, 0), (1, 1))
+        store.add(nogood)
+        view.update(1, 1, 0)
+        assert store.violated(view, 0) == [nogood]
+        assert store.suspect_count() == 1
+
+    def test_suspect_is_rehabilitated_when_a_pair_unmatches(self):
+        store = WatchedNogoodStore(0)
+        view = AgentView()
+        nogood = Nogood.of((0, 0), (1, 1))
+        store.add(nogood)
+        view.update(1, 1, 0)
+        assert store.count_violated(view, 0) == 1
+        assert store.suspect_count() == 1
+        view.update(1, 0, 0)  # pair (1,1) no longer matched
+        assert store.count_violated(view, 0) == 0
+        # Lazy rehab: the mask test failed, so it went back on watches.
+        assert store.suspect_count() == 0
+
+    def test_watch_replacement_keeps_nogood_off_the_suspect_list(self):
+        store = WatchedNogoodStore(0)
+        view = AgentView()
+        store.count_violated(view, 0)
+        store.add(Nogood.of((0, 0), (1, 1), (2, 1), (3, 1)))
+        # Match two of the three rest pairs: a replacement watch exists.
+        view.update(1, 1, 0)
+        assert store.count_violated(view, 0) == 0
+        view.update(2, 1, 0)
+        assert store.count_violated(view, 0) == 0
+        assert store.suspect_count() == 0
+        # Matching the last pair exhausts replacements: suspect, violated.
+        view.update(3, 1, 0)
+        assert store.count_violated(view, 0) == 1
+        assert store.suspect_count() == 1
+
+    def test_codec_width_counts_distinct_rest_pairs(self):
+        store = WatchedNogoodStore(0)
+        store.add(Nogood.of((0, 0), (1, 1)))
+        store.add(Nogood.of((0, 1), (1, 1)))  # same rest pair: no new bit
+        store.add(Nogood.of((0, 0), (2, 1)))
+        assert store.codec_width() == 2
+
+
+class TestForeignViewFallback:
+    def test_other_views_use_the_reference_scan(self):
+        store = WatchedNogoodStore(0)
+        nogood = Nogood.of((0, 0), (1, 1))
+        store.add(nogood)
+        adopted = AgentView()
+        store.count_violated(adopted, 0)  # first view wins
+        foreign = AgentView()
+        foreign.update(1, 1, 2)  # priority 2: the nogood outranks us at 0
+        assert store.violated(foreign, 0) == [nogood]
+        assert store.count_violated(foreign, 0) == 1
+        assert store.is_consistent(foreign, 0) is False
+        assert store.violated_higher(foreign, 0, 0) == [nogood]
+        assert store.count_violated_lower(foreign, 0, 5) == 1
+
+    def test_foreign_view_counts_match_reference(self):
+        d_store, w_store = both_stores()
+        for store in (d_store, w_store):
+            store.add(Nogood.of((0, 0), (1, 1)))
+            store.add(Nogood.of((0, 0), (2, 0)))
+        adopted = AgentView()
+        w_store.count_violated(adopted, 0)
+        foreign = AgentView()
+        foreign.update(1, 1, 0)
+        d_store.count_violated(foreign, 0)
+        w_store.count_violated(foreign, 0)
+        assert d_store.counter.total + 2 == w_store.counter.total  # +adopt
+
+
+class TestIncrementalKeys:
+    def test_priority_change_reorders_higher_lower(self):
+        store = WatchedNogoodStore(0)
+        view = AgentView()
+        nogood = Nogood.of((0, 0), (1, 1))
+        store.add(nogood)
+        view.update(1, 1, 0)
+        # At priority 0 variable 1 outranks variable 0 only via id order;
+        # raise our priority above it: the nogood becomes lower.
+        assert store.violated_higher(view, 0, 0) == []
+        assert store.count_violated_lower(view, 0, 1) == 1
+        # Now raise variable 1's priority: higher again.
+        view.update(1, 1, 5)
+        assert store.violated_higher(view, 0, 1) == [nogood]
+        assert store.count_violated_lower(view, 0, 1) == 0
+
+    def test_key_refresh_matches_reference_after_priority_churn(self):
+        rng = random.Random(7)
+        d_store, w_store = both_stores()
+        d_view, w_view = AgentView(), AgentView()
+        for _ in range(30):
+            pairs = [(0, rng.randrange(3))]
+            pairs += [
+                (v, rng.randrange(3)) for v in rng.sample(range(1, 6), 2)
+            ]
+            nogood = Nogood(pairs)
+            d_store.add(nogood)
+            w_store.add(nogood)
+        for step in range(60):
+            variable = rng.randrange(1, 6)
+            d_view.update(variable, rng.randrange(3), rng.randrange(4))
+            w_view.update(
+                variable,
+                d_view.value_of(variable),
+                d_view.priority_of(variable),
+            )
+            value = rng.randrange(3)
+            priority = rng.randrange(4)
+            assert w_store.violated_higher(
+                w_view, value, priority
+            ) == d_store.violated_higher(d_view, value, priority)
+            assert w_store.count_violated_lower(
+                w_view, value, priority
+            ) == d_store.count_violated_lower(d_view, value, priority)
+            assert w_store.counter.total == d_store.counter.total
+
+
+class TestBatchParity:
+    def test_batches_equal_singles_and_count_identically(self):
+        rng = random.Random(11)
+        counter_a, counter_b = CheckCounter(), CheckCounter()
+        single = WatchedNogoodStore(0, counter_a)
+        batch = WatchedNogoodStore(0, counter_b)
+        view_a, view_b = AgentView(), AgentView()
+        for _ in range(25):
+            pairs = [(v, rng.randrange(3)) for v in rng.sample(range(5), 2)]
+            nogood = Nogood(pairs)
+            single.add(nogood)
+            batch.add(nogood)
+        for variable in (1, 2, 3):
+            view_a.update(variable, 1, variable % 2)
+            view_b.update(variable, 1, variable % 2)
+        values = [0, 1, 2]
+        assert batch.violated_higher_batch(view_b, values, 1) == [
+            single.violated_higher(view_a, value, 1) for value in values
+        ]
+        assert batch.count_violated_lower_batch(view_b, values, 1) == [
+            single.count_violated_lower(view_a, value, 1) for value in values
+        ]
+        assert batch.violated_batch(view_b, values) == [
+            single.violated(view_a, value) for value in values
+        ]
+        assert batch.count_violated_batch(view_b, values) == [
+            single.count_violated(view_a, value) for value in values
+        ]
+        assert counter_a.total == counter_b.total
+
+    def test_batch_on_foreign_view_falls_back(self):
+        store = WatchedNogoodStore(0)
+        nogood = Nogood.of((0, 0), (1, 1))
+        store.add(nogood)
+        store.count_violated(AgentView(), 0)  # adopt some other view
+        foreign = AgentView()
+        foreign.update(1, 1, 2)  # priority 2: the nogood outranks us at 0
+        assert store.violated_higher_batch(foreign, [0, 1], 0) == [
+            [nogood],
+            [],
+        ]
+
+
+class TestDropInBehaviour:
+    def test_nogoods_iterates_in_insertion_order(self):
+        store = WatchedNogoodStore(0)
+        first = Nogood.of((1, 1))
+        second = Nogood.of((0, 0), (2, 1))
+        store.add(first)
+        store.add(second)
+        assert list(store.nogoods()) == [first, second]
+
+    def test_add_deduplicates(self):
+        store = WatchedNogoodStore(0)
+        nogood = Nogood.of((0, 0), (1, 1))
+        assert store.add(nogood) is True
+        assert store.add(nogood) is False
+        assert len(store) == 1
+
+    def test_is_consistent_counts_short_circuit_prefix(self):
+        d_store, w_store = both_stores()
+        batch = [
+            Nogood.of((0, 0), (1, 1)),
+            Nogood.of((0, 0), (2, 1)),
+            Nogood.of((0, 0), (3, 1)),
+        ]
+        for store in (d_store, w_store):
+            for nogood in batch:
+                store.add(nogood)
+        d_view, w_view = AgentView(), AgentView()
+        for view in (d_view, w_view):
+            view.update(2, 1, 0)  # second nogood violated
+        assert d_store.is_consistent(d_view, 0) is False
+        assert w_store.is_consistent(w_view, 0) is False
+        # The scan tests nogoods 1 and 2 and stops: two counted checks.
+        assert d_store.counter.total == w_store.counter.total == 2
+
+    def test_linear_store_counts_at_least_as_much(self):
+        linear = LinearNogoodStore(0)
+        watched = WatchedNogoodStore(0)
+        for store in (linear, watched):
+            store.add(Nogood.of((0, 0), (1, 1)))
+            store.add(Nogood.of((0, 1), (1, 1)))
+        view_a, view_b = AgentView(), AgentView()
+        assert linear.count_violated(view_a, 0) == watched.count_violated(
+            view_b, 0
+        )
+        assert linear.counter.total >= watched.counter.total

@@ -1,338 +1,22 @@
-"""Smoke benchmark for the trial-execution engine.
+"""Smoke benchmarks — thin shim over :mod:`repro.experiments.bench`.
 
-Runs a fixed quick-scale grid of table cells twice along one axis,
-verifies the results are identical, and writes a JSON report with wall
-times, the speedup, and nogood-check throughput. Later PRs re-run this to
-track the perf trajectory of the experiment hot path.
-
-Three axes:
-
-* ``--axis workers`` (default) — sequential vs the parallel engine;
-  writes ``BENCH_trial_engine.json``.
-* ``--axis backend`` — the synchronous cycle simulator vs the
-  discrete-event engine in parity mode; identical results are the parity
-  guarantee, the wall-time ratio is the event loop's overhead. Writes
-  ``BENCH_event_engine.json``.
-* ``--axis lint`` — two full-tree runs of the whole-program repro-lint
-  analyzer (``src/`` + ``tests/``); identical findings are the
-  determinism guarantee, and the wall time must stay under the 10 s CI
-  budget. Writes ``BENCH_lint.json``.
-
-Usage::
+The benchmark logic lives in the package (``src/repro/experiments/bench.py``)
+so the ``repro bench`` CLI subcommand, tests and CI all share one
+implementation; this script keeps the historical entry point working::
 
     PYTHONPATH=src python tools/bench_smoke.py
-        [--axis workers|backend|lint] [--jobs N] [--output PATH]
-
-The grid is deliberately small (quick-scale sizes, a few seconds per leg)
-so CI can afford it; the JSON records the machine's core count, so a
-1-core runner reporting speedup ≈ 1/overhead is expected and honest.
+        [--axis workers|backend|lint|store] [--jobs N] [--output PATH]
+        [--gate [BASELINE]]
 """
 
 from __future__ import annotations
 
-import argparse
-import json
-import os
-import platform
 import sys
-import time
 from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-from repro.algorithms.registry import algorithm_by_name  # noqa: E402
-from repro.experiments.paper import instances_for  # noqa: E402
-from repro.experiments.parallel import run_cell_parallel  # noqa: E402
-from repro.experiments.runner import run_cell  # noqa: E402
-
-#: (family, n, instances, inits, algorithm label) — fixed quick-scale grid.
-GRID = (
-    ("d3c", 15, 2, 2, "AWC+Rslv"),
-    ("d3c", 15, 2, 2, "AWC+No"),
-    ("d3s", 12, 2, 2, "AWC+Rslv"),
-    ("d3s", 12, 2, 2, "AWC+No"),
-    ("d3s1", 10, 2, 2, "AWC+Rslv"),
-    ("d3s1", 10, 2, 2, "DB"),
-)
-
-MAX_CYCLES = 3_000
-MASTER_SEED = 0
-
-#: CI wall-time budget (seconds) for one full-tree lint pass.
-LINT_BUDGET_SECONDS = 10.0
-
-#: Fields that must agree between the sequential and parallel legs.
-MEASURE_FIELDS = (
-    "solved",
-    "cycles",
-    "maxcck",
-    "total_checks",
-    "messages_sent",
-    "assignment",
-)
-
-
-def cell_measures(cell):
-    return [
-        tuple(
-            sorted(getattr(trial, name).items())
-            if name == "assignment"
-            else getattr(trial, name)
-            for name in MEASURE_FIELDS
-        )
-        for trial in cell.trials
-    ]
-
-
-def run_grid(workers: int, backend: str = "sync"):
-    """One pass over the grid; returns (per-cell rows, totals)."""
-    rows = []
-    total_seconds = 0.0
-    total_checks = 0
-    total_trials = 0
-    for family, n, num_instances, inits, label in GRID:
-        instances = instances_for(family, n, num_instances, MASTER_SEED)
-        spec = algorithm_by_name(label)
-        started = time.perf_counter()
-        if workers > 1:
-            cell = run_cell_parallel(
-                instances,
-                spec,
-                inits_per_instance=inits,
-                master_seed=MASTER_SEED,
-                n=n,
-                max_cycles=MAX_CYCLES,
-                workers=workers,
-                backend=backend,
-            )
-        else:
-            cell = run_cell(
-                instances,
-                spec,
-                inits_per_instance=inits,
-                master_seed=MASTER_SEED,
-                n=n,
-                max_cycles=MAX_CYCLES,
-                workers=1,
-                backend=backend,
-            )
-        elapsed = time.perf_counter() - started
-        checks = sum(trial.total_checks for trial in cell.trials)
-        rows.append(
-            {
-                "family": family,
-                "n": n,
-                "algorithm": label,
-                "trials": cell.num_trials,
-                "wall_seconds": round(elapsed, 4),
-                "mean_cycle": round(cell.mean_cycle, 2),
-                "mean_maxcck": round(cell.mean_maxcck, 2),
-                "percent_solved": round(cell.percent_solved, 1),
-                "total_checks": checks,
-                "checks_per_second": round(checks / elapsed) if elapsed else 0,
-                "cell": cell,
-            }
-        )
-        total_seconds += elapsed
-        total_checks += checks
-        total_trials += cell.num_trials
-    return rows, {
-        "wall_seconds": round(total_seconds, 4),
-        "total_checks": total_checks,
-        "trials": total_trials,
-        "checks_per_second": (
-            round(total_checks / total_seconds) if total_seconds else 0
-        ),
-    }
-
-
-def run_lint_bench(repo_root: Path, output: str) -> int:
-    """Two full-tree lint passes: determinism check + CI wall-time budget."""
-    from repro.lint.engine import (
-        DEFAULT_EXCLUDES,
-        iter_python_files,
-        lint_paths,
-    )
-
-    paths = [str(repo_root / "src"), str(repo_root / "tests")]
-    files = list(iter_python_files(paths, excludes=list(DEFAULT_EXCLUDES)))
-    passes = []
-    findings_per_pass = []
-    for _ in range(2):
-        started = time.perf_counter()
-        findings = lint_paths(
-            paths, baseline=None, excludes=list(DEFAULT_EXCLUDES)
-        )
-        elapsed = time.perf_counter() - started
-        passes.append(round(elapsed, 4))
-        findings_per_pass.append(
-            [finding.format(show_hint=False) for finding in findings]
-        )
-    if findings_per_pass[0] != findings_per_pass[1]:
-        print("FATAL: lint findings diverge between identical passes")
-        return 1
-    slowest = max(passes)
-    budget_met = slowest <= LINT_BUDGET_SECONDS
-    report = {
-        "benchmark": "lint_smoke",
-        "paths": ["src/", "tests/"],
-        "files_linted": len(files),
-        "machine": {
-            "cpu_count": os.cpu_count() or 1,
-            "platform": platform.platform(),
-            "python": platform.python_version(),
-        },
-        "pass_wall_seconds": passes,
-        "files_per_second": round(len(files) / slowest) if slowest else 0,
-        "findings": len(findings_per_pass[0]),
-        "budget_seconds": LINT_BUDGET_SECONDS,
-        "budget_met": budget_met,
-        "results_identical": True,
-        "note": (
-            "one whole-program pass parses every file once into a shared "
-            "ProjectGraph, then runs the file-local and inter-procedural "
-            "rules against it; the budget keeps full-tree linting viable "
-            "as a pre-commit hook and a CI gate"
-        ),
-    }
-    Path(output).write_text(json.dumps(report, indent=2) + "\n")
-    print(
-        f"lint: {len(files)} files, passes {passes[0]:.2f}s / "
-        f"{passes[1]:.2f}s, {report['findings']} finding(s), "
-        f"budget {LINT_BUDGET_SECONDS:.0f}s "
-        f"{'met' if budget_met else 'EXCEEDED'}"
-    )
-    print(f"wrote {output}")
-    if not budget_met:
-        print(
-            f"FATAL: full-tree lint took {slowest:.2f}s, over the "
-            f"{LINT_BUDGET_SECONDS:.0f}s budget"
-        )
-        return 1
-    return 0
-
-
-def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument(
-        "--axis",
-        choices=("workers", "backend", "lint"),
-        default="workers",
-        help="what to compare: sequential vs parallel execution, the "
-        "sync vs event-driven engines (both legs sequential), or two "
-        "passes of the whole-program lint analyzer",
-    )
-    parser.add_argument(
-        "--jobs",
-        type=int,
-        default=None,
-        help="workers for the parallel leg of --axis workers "
-        "(default: min(4, cores))",
-    )
-    parser.add_argument(
-        "--output",
-        default=None,
-        help="where to write the JSON report (default: "
-        "BENCH_trial_engine.json / BENCH_event_engine.json by axis)",
-    )
-    args = parser.parse_args(argv)
-    cores = os.cpu_count() or 1
-    jobs = args.jobs if args.jobs is not None else min(4, cores)
-    repo_root = Path(__file__).resolve().parent.parent
-
-    if args.axis == "lint":
-        output = args.output or str(repo_root / "BENCH_lint.json")
-        return run_lint_bench(repo_root, output)
-
-    if args.axis == "backend":
-        output = args.output or str(repo_root / "BENCH_event_engine.json")
-        print(
-            f"bench_smoke: {len(GRID)} cells, sync simulator vs "
-            "event-driven engine (parity mode, sequential)"
-        )
-        baseline_name, candidate_name = "sync", "events"
-        baseline_rows, baseline_totals = run_grid(workers=1, backend="sync")
-        candidate_rows, candidate_totals = run_grid(
-            workers=1, backend="events"
-        )
-        benchmark = "event_engine_smoke"
-        diverge_message = "event-driven results diverge from sync (parity)"
-        note = (
-            "both legs are sequential; identical results are the parity "
-            "guarantee of the unit-latency event engine, and the speedup "
-            "(sync wall time / events wall time) is the discrete-event "
-            "loop's overhead relative to lockstep cycles"
-        )
-        extra = {}
-    else:
-        output = args.output or str(repo_root / "BENCH_trial_engine.json")
-        print(
-            f"bench_smoke: {len(GRID)} cells, sequential vs {jobs} workers "
-            f"({cores} cores available)"
-        )
-        baseline_name, candidate_name = "sequential", "parallel"
-        baseline_rows, baseline_totals = run_grid(workers=1)
-        candidate_rows, candidate_totals = run_grid(workers=jobs)
-        benchmark = "trial_engine_smoke"
-        diverge_message = "parallel results diverge from sequential"
-        note = (
-            "speedup is bounded by physical cores: with "
-            f"{cores} core(s) available, {jobs} workers can at best "
-            f"approach {min(jobs, cores)}x minus pool overhead"
-        )
-        extra = {"workers": jobs}
-
-    mismatches = [
-        f"{s['family']}-n{s['n']}-{s['algorithm']}"
-        for s, p in zip(baseline_rows, candidate_rows)
-        if cell_measures(s.pop("cell")) != cell_measures(p.pop("cell"))
-    ]
-    if mismatches:
-        print(f"FATAL: {diverge_message}: {mismatches}")
-        return 1
-
-    speedup = (
-        baseline_totals["wall_seconds"] / candidate_totals["wall_seconds"]
-        if candidate_totals["wall_seconds"]
-        else 0.0
-    )
-    report = {
-        "benchmark": benchmark,
-        "grid": [
-            {
-                "family": family,
-                "n": n,
-                "instances": instances,
-                "inits": inits,
-                "algorithm": label,
-            }
-            for family, n, instances, inits, label in GRID
-        ],
-        "max_cycles": MAX_CYCLES,
-        "master_seed": MASTER_SEED,
-        "machine": {
-            "cpu_count": cores,
-            "platform": platform.platform(),
-            "python": platform.python_version(),
-        },
-        **extra,
-        baseline_name: {"cells": baseline_rows, "totals": baseline_totals},
-        candidate_name: {"cells": candidate_rows, "totals": candidate_totals},
-        "speedup": round(speedup, 3),
-        "results_identical": True,
-        "note": note,
-    }
-    Path(output).write_text(json.dumps(report, indent=2) + "\n")
-    print(
-        f"{baseline_name} {baseline_totals['wall_seconds']:.2f}s "
-        f"({baseline_totals['checks_per_second']:,} checks/s), "
-        f"{candidate_name} {candidate_totals['wall_seconds']:.2f}s "
-        f"({candidate_totals['checks_per_second']:,} checks/s), "
-        f"speedup {speedup:.2f}x"
-    )
-    print(f"wrote {output}")
-    return 0
-
+from repro.experiments.bench import main  # noqa: E402
 
 if __name__ == "__main__":
     sys.exit(main())
