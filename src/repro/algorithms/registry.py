@@ -22,6 +22,7 @@ from ..runtime.random_source import Seed
 from .abt import build_abt_agents
 from .awc import build_awc_agents
 from .breakout import build_breakout_agents
+from .multi_awc import build_multi_awc_agents
 
 #: initial values per variable (or None to let each agent draw its own).
 InitialAssignment = Optional[Dict[VariableId, Value]]
@@ -64,6 +65,35 @@ def awc(learning: object = "Rslv") -> AlgorithmSpec:
         )
 
     return AlgorithmSpec(name=f"AWC+{method.name}", build=build)
+
+
+def multi_awc(learning: object = "Rslv") -> AlgorithmSpec:
+    """Multi-variable AWC: one agent per owner, virtual handlers inside.
+
+    Before this spec existed the multi-variable workload could only be
+    built by calling :func:`~repro.algorithms.multi_awc.build_multi_awc_agents`
+    by hand, so harness-level seams that dispatch through the registry —
+    ``--store`` rebinding, the verify corpus, table runners — never reached
+    it. Registering it routes the multi-variable agents through the same
+    batch-consultation store backends as single-variable AWC.
+    """
+    method = (
+        learning
+        if isinstance(learning, LearningMethod)
+        else learning_method(str(learning))
+    )
+
+    def build(
+        problem: DisCSP,
+        metrics: MetricsCollector,
+        seed: Seed,
+        initial_assignment: InitialAssignment,
+    ) -> Sequence[SimulatedAgent]:
+        return build_multi_awc_agents(
+            problem, method, metrics, seed, initial_assignment
+        )
+
+    return AlgorithmSpec(name=f"MultiAWC+{method.name}", build=build)
 
 
 def db(weight_mode: str = "nogood") -> AlgorithmSpec:
@@ -109,13 +139,16 @@ def abt(learning: str = "view") -> AlgorithmSpec:
 def algorithm_by_name(name: str) -> AlgorithmSpec:
     """Parse a table-style algorithm label into a spec.
 
-    Accepted: ``"DB"``, ``"ABT"``, ``"AWC+<learning>"`` where ``<learning>``
-    is any label accepted by :func:`repro.learning.learning_method`.
+    Accepted: ``"DB"``, ``"ABT"``, ``"AWC+<learning>"`` and
+    ``"MultiAWC+<learning>"`` where ``<learning>`` is any label accepted by
+    :func:`repro.learning.learning_method`.
     """
     if name == "DB":
         return db()
     if name == "ABT":
         return abt()
+    if name.startswith("MultiAWC+"):
+        return multi_awc(name[len("MultiAWC+"):])
     if name.startswith("AWC+"):
         return awc(name[len("AWC+"):])
     raise ModelError(f"unknown algorithm: {name!r}")

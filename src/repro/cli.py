@@ -384,6 +384,29 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return lint_main(forwarded)
 
 
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from .verify.cli import main as verify_main
+
+    forwarded: List[str] = []
+    if args.explore:
+        forwarded.append("--explore")
+    for entry in args.only or ():
+        forwarded += ["--only", entry]
+    if args.budget is not None:
+        forwarded += ["--budget", str(args.budget)]
+    if args.naive_budget is not None:
+        forwarded += ["--naive-budget", str(args.naive_budget)]
+    if args.no_prune:
+        forwarded.append("--no-prune")
+    if args.no_naive:
+        forwarded.append("--no-naive")
+    if args.format != "text":
+        forwarded += ["--format", args.format]
+    if args.output:
+        forwarded += ["--output", args.output]
+    return verify_main(forwarded)
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     from .experiments.bench import main as bench_main
 
@@ -556,14 +579,53 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("--no-fifo-check", action="store_true")
     lint.set_defaults(func=_cmd_lint)
 
+    verify = sub.add_parser(
+        "verify",
+        help=(
+            "interleaving verifier: handler commutativity matrix and "
+            "DPOR schedule exploration of the event runtime"
+        ),
+    )
+    verify.add_argument(
+        "--explore",
+        action="store_true",
+        help="explore delivery schedules on the pinned corpus",
+    )
+    verify.add_argument(
+        "--only", action="append", metavar="ENTRY",
+        help="restrict to this corpus entry (repeatable)",
+    )
+    verify.add_argument(
+        "--budget", type=int, default=None,
+        help="max schedules the pruned search runs per entry",
+    )
+    verify.add_argument(
+        "--naive-budget", type=int, default=None,
+        help="max schedules the naive count runs per entry",
+    )
+    verify.add_argument(
+        "--no-prune", action="store_true",
+        help="disable commutativity pruning",
+    )
+    verify.add_argument(
+        "--no-naive", action="store_true",
+        help="skip the naive count (invariants only)",
+    )
+    verify.add_argument("--format", choices=("text", "json"), default="text")
+    verify.add_argument(
+        "--output", default=None, help="also write the JSON report here"
+    )
+    verify.set_defaults(func=_cmd_verify)
+
     bench = sub.add_parser(
         "bench",
         help="smoke benchmarks: trial engine, event engine, lint "
-        "analyzer, nogood-store kernel (writes BENCH_*.json)",
+        "analyzer, nogood-store kernel, interleaving verifier "
+        "(writes BENCH_*.json)",
     )
     bench.add_argument(
         "--axis",
-        choices=("workers", "backend", "lint", "store"),
+        choices=("workers", "backend", "lint", "store", "verify"),
         default="workers",
         help="what to compare (see repro.experiments.bench)",
     )
@@ -575,7 +637,7 @@ def build_parser() -> argparse.ArgumentParser:
         const="",
         default=None,
         metavar="BASELINE",
-        help="(--axis store) fail if the watched kernel's checks/sec "
+        help="(--axis store/verify) fail if the axis's throughput metric "
         "regressed more than 20%% vs the BASELINE report",
     )
     bench.set_defaults(func=_cmd_bench)

@@ -6,7 +6,7 @@ times, the speedup, and nogood-check throughput. ``tools/bench_smoke.py``
 is a thin shim around this module; ``repro bench`` exposes it as a CLI
 subcommand.
 
-Four axes:
+Five axes:
 
 * ``--axis workers`` (default) — sequential vs the parallel engine;
   writes ``BENCH_trial_engine.json``.
@@ -26,12 +26,16 @@ Four axes:
   Writes ``BENCH_store_kernel.json``; ``--gate`` fails the run if the
   kernel's checks/sec regressed more than 20% against a committed
   baseline report.
+* ``--axis verify`` — the interleaving verifier (:mod:`repro.verify`) on
+  its pinned corpus: schedule-exploration throughput, the DPOR prune
+  ratio, and zero invariant violations. Writes ``BENCH_verify.json``;
+  ``--gate`` applies the same 20% regression rule to schedules/sec.
 
 Usage::
 
     PYTHONPATH=src python tools/bench_smoke.py
-        [--axis workers|backend|lint|store] [--jobs N] [--output PATH]
-        [--gate [BASELINE]]
+        [--axis workers|backend|lint|store|verify] [--jobs N]
+        [--output PATH] [--gate [BASELINE]]
 
 The grid is deliberately small (quick-scale sizes, a few seconds per leg)
 so CI can afford it; the JSON records the machine's core count, so a
@@ -599,28 +603,118 @@ def run_store_bench(output: str, gate: Optional[str]) -> int:
     return 0
 
 
-def check_gate(baseline_path: str, measured_cps: int) -> int:
-    """Fail if *measured_cps* dropped >20% below the committed baseline."""
+def run_verify_bench(output: str, gate: Optional[str]) -> int:
+    """``--axis verify``: the interleaving verifier as a benchmark.
+
+    Explores the pinned corpus (pruned DFS + capped naive count) and
+    reports schedule throughput and the prune ratio. Two properties are
+    load-bearing and asserted here rather than merely reported: zero
+    invariant violations, and at least a 10x prune ratio (the static
+    commutativity matrix must keep paying for itself as the corpus and
+    the agent code evolve).
+    """
+    from ..verify.explorer import explore_corpus
+
+    report_data = explore_corpus()
+    schedules_per_second = report_data.schedules_per_second
+    report = {
+        "benchmark": "verify_smoke",
+        "python": platform.python_version(),
+        "cores": os.cpu_count() or 1,
+        "verify": {
+            "schedules_per_second": round(schedules_per_second, 1),
+            "prune_ratio": round(report_data.prune_ratio, 2),
+            "explored": report_data.explored,
+            "naive": report_data.naive,
+            "total_runs": report_data.total_runs,
+            "violations": report_data.violations,
+            "entries": [entry.as_dict() for entry in report_data.entries],
+        },
+        "note": (
+            "DPOR exploration of the pinned n<=8 corpus: 'explored' counts "
+            "schedules the pruned search ran, 'naive' the unpruned "
+            "enumeration (capped at 15x explored, so a capped prune_ratio "
+            "is a lower bound); schedules_per_second counts every "
+            "simulation run, including the naive walk"
+        ),
+    }
+    Path(output).write_text(json.dumps(report, indent=2) + "\n")
+    print(
+        f"verify: {report_data.explored} schedules explored "
+        f"({report_data.total_runs} runs), prune ratio "
+        f"{report_data.prune_ratio:.1f}x, "
+        f"{schedules_per_second:,.0f} schedules/s"
+    )
+    print(f"wrote {output}")
+    if report_data.violations:
+        for violation in report_data.violations:
+            print(f"FATAL: invariant violation: {violation}")
+        return 1
+    if report_data.prune_ratio < 10.0:
+        print(
+            f"FATAL: prune ratio {report_data.prune_ratio:.1f}x fell "
+            "below the 10x bar — the commutativity matrix is no longer "
+            "pruning effectively"
+        )
+        return 1
+    if gate is not None:
+        metric_path, label = GATE_METRICS["verify"]
+        return check_gate(gate, schedules_per_second, metric_path, label)
+    return 0
+
+
+#: Where each gated axis keeps its throughput metric in its report.
+GATE_METRICS: Dict[str, Tuple[Tuple[str, ...], str]] = {
+    "store": (
+        ("kernel_replay", "watched", "checks_per_second"),
+        "watched-kernel checks/sec",
+    ),
+    "verify": (
+        ("verify", "schedules_per_second"),
+        "verify schedules/sec",
+    ),
+}
+
+
+def check_gate(
+    baseline_path: str,
+    measured: float,
+    metric_path: Tuple[str, ...] = GATE_METRICS["store"][0],
+    label: str = GATE_METRICS["store"][1],
+) -> int:
+    """Fail if *measured* dropped >20% below the committed baseline.
+
+    A gate was explicitly requested, so a baseline that cannot be read is
+    an error, never a silent skip — one line, no traceback.
+    """
     path = Path(baseline_path)
     if not path.exists():
-        print(f"gate: no baseline at {baseline_path}; skipping comparison")
-        return 0
-    baseline = json.loads(path.read_text())
-    try:
-        baseline_cps = int(
-            baseline["kernel_replay"]["watched"]["checks_per_second"]
-        )
-    except (KeyError, TypeError, ValueError):
-        print(f"FATAL: {baseline_path} is not a store-kernel report")
+        print(f"FATAL: gate baseline {baseline_path} does not exist")
         return 1
-    floor = baseline_cps * (1.0 - GATE_TOLERANCE)
-    print(
-        f"gate: measured {measured_cps:,} checks/s vs baseline "
-        f"{baseline_cps:,} (floor {floor:,.0f})"
-    )
-    if measured_cps < floor:
+    try:
+        baseline = json.loads(path.read_text())
+    except (json.JSONDecodeError, UnicodeDecodeError, OSError) as error:
+        print(f"FATAL: gate baseline {baseline_path} is unreadable: {error}")
+        return 1
+    try:
+        value: object = baseline
+        for key in metric_path:
+            value = value[key]  # type: ignore[index]
+        baseline_value = float(value)  # type: ignore[arg-type]
+    except (KeyError, TypeError, ValueError):
         print(
-            f"FATAL: watched-kernel checks/sec regressed more than "
+            f"FATAL: gate baseline {baseline_path} has no "
+            f"{'.'.join(metric_path)} metric"
+        )
+        return 1
+    floor = baseline_value * (1.0 - GATE_TOLERANCE)
+    print(
+        f"gate: measured {measured:,.0f} vs baseline "
+        f"{baseline_value:,.0f} {label} (floor {floor:,.0f})"
+    )
+    if measured < floor:
+        print(
+            f"FATAL: {label} regressed more than "
             f"{GATE_TOLERANCE:.0%} vs {baseline_path}"
         )
         return 1
@@ -631,12 +725,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--axis",
-        choices=("workers", "backend", "lint", "store"),
+        choices=("workers", "backend", "lint", "store", "verify"),
         default="workers",
         help="what to compare: sequential vs parallel execution, the "
         "sync vs event-driven engines (both legs sequential), two "
-        "passes of the whole-program lint analyzer, or the dict vs "
-        "watched/bitset nogood-store backends",
+        "passes of the whole-program lint analyzer, the dict vs "
+        "watched/bitset nogood-store backends, or the interleaving "
+        "verifier's schedule-exploration throughput",
     )
     parser.add_argument(
         "--jobs",
@@ -658,9 +753,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         const="",
         default=None,
         metavar="BASELINE",
-        help="(--axis store) fail if watched checks/sec drops more than "
-        "20%% below the BASELINE report (default: the committed "
-        "BENCH_store_kernel.json)",
+        help="(--axis store/verify) fail if the axis's throughput metric "
+        "drops more than 20%% below the BASELINE report (default: the "
+        "committed BENCH_store_kernel.json / BENCH_verify.json)",
     )
     args = parser.parse_args(argv)
     cores = os.cpu_count() or 1
@@ -677,6 +772,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         if gate == "":
             gate = str(repo_root / "BENCH_store_kernel.json")
         return run_store_bench(output, gate)
+
+    if args.axis == "verify":
+        output = args.output or str(repo_root / "BENCH_verify.json")
+        gate = args.gate
+        if gate == "":
+            gate = str(repo_root / "BENCH_verify.json")
+        return run_verify_bench(output, gate)
 
     if args.axis == "backend":
         output = args.output or str(repo_root / "BENCH_event_engine.json")

@@ -13,6 +13,7 @@ metrics semantics, and ``EXPERIMENTS.md`` for how the logical-time
 measures relate to the paper's ``cycle``/``maxcck``.
 """
 
+from .controlled import ChoicePoint, ScheduledTransport
 from .engine import ACTIVATION_MODES, EventDrivenSimulator
 from .socket_transport import run_socket_trial
 from .transport import (
@@ -28,8 +29,10 @@ from .transport import (
 
 __all__ = [
     "ACTIVATION_MODES",
+    "ChoicePoint",
     "Delivery",
     "EventDrivenSimulator",
+    "ScheduledTransport",
     "InProcessTransport",
     "InProcessTransportFactory",
     "LatencyModel",

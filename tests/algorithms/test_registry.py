@@ -5,7 +5,14 @@ import pytest
 from repro.algorithms.abt import AbtAgent
 from repro.algorithms.awc import AwcAgent
 from repro.algorithms.breakout import BreakoutAgent
-from repro.algorithms.registry import abt, algorithm_by_name, awc, db
+from repro.algorithms.multi_awc import MultiVariableAwcAgent
+from repro.algorithms.registry import (
+    abt,
+    algorithm_by_name,
+    awc,
+    db,
+    multi_awc,
+)
 from repro.core.exceptions import ModelError
 from repro.learning import ResolventLearning
 from repro.problems.coloring import coloring_discsp
@@ -36,16 +43,34 @@ class TestSpecs:
     def test_abt_name(self):
         assert abt().name == "ABT"
 
+    def test_multi_awc_names_follow_learning(self):
+        assert multi_awc("Rslv").name == "MultiAWC+Rslv"
+        assert multi_awc("No").name == "MultiAWC+No"
+        assert multi_awc(ResolventLearning()).name == "MultiAWC+Rslv"
+
     def test_builders_produce_the_right_agents(self):
         assert all(isinstance(a, AwcAgent) for a in build(awc("Rslv")))
         assert all(isinstance(a, BreakoutAgent) for a in build(db()))
         assert all(isinstance(a, AbtAgent) for a in build(abt()))
+        assert all(
+            isinstance(a, MultiVariableAwcAgent)
+            for a in build(multi_awc("Rslv"))
+        )
 
 
 class TestByName:
     @pytest.mark.parametrize(
         "name",
-        ["AWC+Rslv", "AWC+Mcs", "AWC+No", "AWC+4thRslv", "DB", "ABT"],
+        [
+            "AWC+Rslv",
+            "AWC+Mcs",
+            "AWC+No",
+            "AWC+4thRslv",
+            "MultiAWC+Rslv",
+            "MultiAWC+No",
+            "DB",
+            "ABT",
+        ],
     )
     def test_round_trips(self, name):
         assert algorithm_by_name(name).name == name
@@ -57,3 +82,7 @@ class TestByName:
     def test_unknown_learning_rejected(self):
         with pytest.raises(ModelError):
             algorithm_by_name("AWC+Nothing")
+
+    def test_unknown_multi_awc_learning_rejected(self):
+        with pytest.raises(ModelError):
+            algorithm_by_name("MultiAWC+Nothing")

@@ -1,0 +1,86 @@
+"""``--gate``: a requested gate never silently skips.
+
+Missing, corrupt, or wrong-shape baselines are configuration errors — one
+FATAL line, exit code 1, no traceback. A readable baseline applies the 20%
+floor to the axis's metric (store and verify share the same machinery via
+``GATE_METRICS``).
+"""
+
+import json
+
+from repro.experiments.bench import GATE_METRICS, check_gate
+
+
+def store_baseline(tmp_path, checks_per_second):
+    path = tmp_path / "BENCH_store_kernel.json"
+    path.write_text(
+        json.dumps(
+            {
+                "kernel_replay": {
+                    "watched": {"checks_per_second": checks_per_second}
+                }
+            }
+        )
+    )
+    return str(path)
+
+
+class TestUnreadableBaselines:
+    def test_missing_file_is_fatal(self, tmp_path, capsys):
+        assert check_gate(str(tmp_path / "absent.json"), 1000.0) == 1
+        out = capsys.readouterr().out
+        assert out.startswith("FATAL: gate baseline")
+        assert "does not exist" in out
+        assert len(out.strip().splitlines()) == 1
+
+    def test_corrupt_json_is_fatal(self, tmp_path, capsys):
+        path = tmp_path / "corrupt.json"
+        path.write_text("{not json")
+        assert check_gate(str(path), 1000.0) == 1
+        out = capsys.readouterr().out
+        assert "is unreadable" in out
+        assert len(out.strip().splitlines()) == 1
+
+    def test_wrong_shape_names_the_missing_metric(self, tmp_path, capsys):
+        path = tmp_path / "other.json"
+        path.write_text(json.dumps({"benchmark": "something_else"}))
+        assert check_gate(str(path), 1000.0) == 1
+        out = capsys.readouterr().out
+        assert "has no kernel_replay.watched.checks_per_second metric" in out
+
+    def test_non_mapping_json_is_a_shape_error(self, tmp_path, capsys):
+        path = tmp_path / "list.json"
+        path.write_text("[1, 2, 3]")
+        assert check_gate(str(path), 1000.0) == 1
+        assert "has no" in capsys.readouterr().out
+
+
+class TestFloor:
+    def test_within_tolerance_passes(self, tmp_path, capsys):
+        baseline = store_baseline(tmp_path, 1000.0)
+        assert check_gate(baseline, 900.0) == 0
+        assert "gate: measured" in capsys.readouterr().out
+
+    def test_regression_beyond_tolerance_fails(self, tmp_path, capsys):
+        baseline = store_baseline(tmp_path, 1000.0)
+        assert check_gate(baseline, 700.0) == 1
+        assert "regressed more than 20%" in capsys.readouterr().out
+
+    def test_verify_axis_reads_its_own_metric(self, tmp_path, capsys):
+        path = tmp_path / "BENCH_verify.json"
+        path.write_text(
+            json.dumps({"verify": {"schedules_per_second": 500.0}})
+        )
+        metric_path, label = GATE_METRICS["verify"]
+        assert check_gate(str(path), 450.0, metric_path, label) == 0
+        assert "verify schedules/sec" in capsys.readouterr().out
+        assert check_gate(str(path), 100.0, metric_path, label) == 1
+
+    def test_committed_verify_baseline_has_the_gated_metric(self):
+        payload = json.loads(open("BENCH_verify.json").read())
+        value = payload
+        for key in GATE_METRICS["verify"][0]:
+            value = value[key]
+        assert float(value) > 0
+        assert payload["verify"]["violations"] == []
+        assert payload["verify"]["prune_ratio"] >= 10.0

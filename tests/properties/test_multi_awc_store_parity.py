@@ -1,0 +1,62 @@
+"""Three-backend store parity on multi-variable AWC trials.
+
+The registry's ``multi_awc`` spec routes the multi-variable workload
+through the same harness seams as single-variable AWC — including the
+``store`` backend rebind. These trials pin the backend contract end-to-end
+on re-owned coloring instances: the watched kernel is bit-identical to the
+dict store (results *and* check counts), and the linear reference follows
+the same trajectory while counting at least as much.
+"""
+
+import pytest
+
+from repro.algorithms.registry import multi_awc
+from repro.core.problem import DisCSP
+from repro.experiments.runner import run_trial
+from repro.problems.coloring import random_coloring_instance
+
+
+def multi_problem(seed, num_agents=4):
+    """A 12-node coloring instance re-owned onto a few agents."""
+    csp = random_coloring_instance(12, seed=seed).to_csp()
+    owner = {variable: variable % num_agents for variable in csp.variables}
+    return DisCSP.from_csp(csp, owner)
+
+
+def trial_fields(result):
+    return (
+        result.solved,
+        result.cycles,
+        result.maxcck,
+        result.total_checks,
+        result.assignment,
+    )
+
+
+@pytest.mark.parametrize("seed", (0, 1, 2))
+def test_watched_trial_identical_to_dict(seed):
+    problem = multi_problem(seed=3)
+    baseline = run_trial(problem, multi_awc("Rslv"), seed=seed, store="dict")
+    watched = run_trial(
+        problem, multi_awc("Rslv"), seed=seed, store="watched"
+    )
+    assert trial_fields(watched) == trial_fields(baseline)
+
+
+@pytest.mark.parametrize("seed", (0, 1))
+def test_linear_matches_trajectory_but_counts_more(seed):
+    problem = multi_problem(seed=3)
+    baseline = run_trial(problem, multi_awc("Rslv"), seed=seed, store="dict")
+    linear = run_trial(problem, multi_awc("Rslv"), seed=seed, store="linear")
+    assert linear.solved == baseline.solved
+    assert linear.cycles == baseline.cycles
+    assert linear.assignment == baseline.assignment
+    assert linear.total_checks >= baseline.total_checks
+    assert linear.maxcck >= baseline.maxcck
+
+
+def test_parity_holds_without_learning():
+    problem = multi_problem(seed=5, num_agents=3)
+    baseline = run_trial(problem, multi_awc("No"), seed=0, store="dict")
+    watched = run_trial(problem, multi_awc("No"), seed=0, store="watched")
+    assert trial_fields(watched) == trial_fields(baseline)

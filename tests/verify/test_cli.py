@@ -1,0 +1,59 @@
+"""``repro verify``: both modes of the verifier CLI."""
+
+import json
+
+from repro.verify.cli import main
+
+
+class TestMatrixMode:
+    def test_prints_footprints_and_matrix(self, capsys):
+        assert main([]) == 0
+        out = capsys.readouterr().out
+        assert "AwcAgent:" in out
+        assert "CONFLICT" in out
+        assert "commute" in out
+
+
+class TestExploreMode:
+    def test_unknown_entry_is_fatal(self, capsys):
+        assert main(["--explore", "--only", "nope"]) == 2
+        assert "FATAL" in capsys.readouterr().err
+
+    def test_explore_writes_report_and_exits_clean(self, tmp_path, capsys):
+        output = tmp_path / "report.json"
+        code = main(
+            [
+                "--explore",
+                "--only",
+                "multi-awc-n5",
+                "--no-naive",
+                "--output",
+                str(output),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "multi-awc-n5" in out
+        assert "0 violation(s)" in out
+        payload = json.loads(output.read_text())
+        [entry] = payload["entries"]
+        assert entry["name"] == "multi-awc-n5"
+        assert entry["explored"] > 0
+        assert not entry["violations"]
+
+    def test_json_format_prints_the_report(self, capsys):
+        code = main(
+            [
+                "--explore",
+                "--only",
+                "multi-awc-n5",
+                "--no-naive",
+                "--budget",
+                "3",
+                "--format",
+                "json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["entries"][0]["explored_capped"] is True

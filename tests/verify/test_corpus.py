@@ -1,0 +1,50 @@
+"""The pinned corpus: tiny, reproducible, and strict about its limits."""
+
+import pytest
+
+from repro.algorithms.multi_awc import MultiVariableAwcAgent
+from repro.core.exceptions import ModelError
+from repro.verify.corpus import (
+    MAX_NODES,
+    PINNED_CORPUS,
+    CorpusEntry,
+    corpus_by_name,
+)
+
+
+class TestEntry:
+    def test_size_cap_enforced(self):
+        with pytest.raises(ModelError, match="n <= 8"):
+            CorpusEntry("too-big", "ABT", MAX_NODES + 1)
+
+    def test_build_is_reproducible(self):
+        entry = PINNED_CORPUS[0]
+        first_problem, first_agents = entry.build()
+        second_problem, second_agents = entry.build()
+        assert first_problem.variables == second_problem.variables
+        assert [a.id for a in first_agents] == [a.id for a in second_agents]
+
+    def test_reowning_produces_multi_variable_agents(self):
+        entry = next(e for e in PINNED_CORPUS if e.num_agents is not None)
+        problem, agents = entry.build()
+        assert len(agents) == entry.num_agents
+        assert all(isinstance(a, MultiVariableAwcAgent) for a in agents)
+        assert len(problem.variables) == entry.num_nodes
+
+    def test_every_entry_builds(self):
+        for entry in PINNED_CORPUS:
+            problem, agents = entry.build()
+            assert agents and problem.variables
+
+
+class TestSelection:
+    def test_empty_selection_is_the_whole_corpus(self):
+        assert corpus_by_name([]) == PINNED_CORPUS
+
+    def test_selection_preserves_request_order(self):
+        names = [PINNED_CORPUS[2].name, PINNED_CORPUS[0].name]
+        assert [e.name for e in corpus_by_name(names)] == names
+
+    def test_unknown_name_rejected_with_the_known_list(self):
+        with pytest.raises(ModelError, match="unknown corpus entries"):
+            corpus_by_name(["nope"])
