@@ -109,7 +109,9 @@ class AbtAgent(SingleVariableAgent):
             elif isinstance(message, NogoodMessage):
                 changed = True
                 nogood_senders.add(message.sender)
-                outgoing.extend(self._receive_nogood(message.nogood))
+                outgoing.extend(
+                    self._receive_nogood(message.nogood, message.sender)
+                )
             elif isinstance(message, RequestValueMessage):
                 self.recipients.add(message.sender)
                 requesters.add(message.sender)
@@ -212,9 +214,14 @@ class AbtAgent(SingleVariableAgent):
             )
         return Nogood(pairs)
 
-    def _receive_nogood(self, nogood: Nogood) -> List[Outgoing]:
+    def _receive_nogood(
+        self, nogood: Nogood, sender: AgentId
+    ) -> List[Outgoing]:
+        # As in AWC, the sender's pin slot rotates onto its latest
+        # backtrack nogood so retention policies cannot evict the copy
+        # the sender's backjump reasoning depends on.
         requests: List[Outgoing] = []
-        if not self.store.add(nogood):
+        if not self.store.add(nogood, slot=sender):
             return requests
         for variable in sorted(nogood.variables):
             if variable != self.variable and not self.view.knows(variable):

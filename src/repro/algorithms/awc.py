@@ -31,6 +31,7 @@ import random
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Set
 
 from ..core.assignment import AgentView
+from ..core.exceptions import ModelError
 from ..core.nogood import Nogood
 from ..core.problem import AgentId, DisCSP
 from ..core.variables import Value, VariableId
@@ -69,6 +70,35 @@ class AwcAgent(SingleVariableAgent):
         self.view = AgentView()
         self.last_generated: Optional[Nogood] = None
 
+    def reset_episode(
+        self,
+        metrics: MetricsCollector,
+        initial_value: Optional[Value] = None,
+    ) -> None:
+        """Prepare this agent for another episode on the same instance.
+
+        The soak harness re-solves one instance repeatedly with fresh
+        initial values through a persistent population. Search state is
+        reset — priority, view, the completeness rule's memory, the
+        failure flag, the configured initial value — while everything
+        learned persists: the store (with its retention policy, pins and
+        interner), the grown recipient set, and the agent's RNG stream.
+        Learned nogoods are logical consequences of the same instance's
+        constraints, so carrying them across episodes is sound.
+        """
+        if initial_value is not None and initial_value not in self.domain:
+            raise ModelError(
+                f"initial value {initial_value!r} is outside the domain "
+                f"of x{self.variable}"
+            )
+        self.metrics = metrics
+        self.priority = 0
+        self.view = AgentView()
+        self.last_generated = None
+        self.failure = None
+        self._initial_value = initial_value
+        self.value = self.domain.values[0]
+
     # -- simulator protocol ----------------------------------------------------
 
     def initialize(self) -> List[Outgoing]:
@@ -101,7 +131,9 @@ class AwcAgent(SingleVariableAgent):
                 # Keep the generator informed of our future moves: it built
                 # this nogood from our announced value.
                 self.recipients.add(message.sender)
-                requests_out.extend(self._receive_nogood(message.nogood))
+                requests_out.extend(
+                    self._receive_nogood(message.nogood, message.sender)
+                )
                 state_changed = True
             elif isinstance(message, RequestValueMessage):
                 self.recipients.add(message.sender)
@@ -208,12 +240,20 @@ class AwcAgent(SingleVariableAgent):
         outgoing.extend(self._broadcast_ok(self.sorted_recipients()))
         return outgoing
 
-    def _receive_nogood(self, nogood: Nogood) -> List[Outgoing]:
-        """Record an announced nogood (policy permitting); request unknowns."""
+    def _receive_nogood(
+        self, nogood: Nogood, sender: AgentId
+    ) -> List[Outgoing]:
+        """Record an announced nogood (policy permitting); request unknowns.
+
+        The add rotates *sender*'s pin slot onto this nogood: the
+        completeness rule in :meth:`_backtrack` assumes the sender's
+        latest announced resolvent is still recorded somewhere, so a
+        retention policy must never evict it (the completeness caveat).
+        """
         requests: List[Outgoing] = []
         if not self.learning.should_record(nogood):
             return requests
-        if not self.store.add(nogood):
+        if not self.store.add(nogood, slot=sender):
             return requests
         for variable in sorted(nogood.variables):
             if variable != self.variable and not self.view.knows(variable):

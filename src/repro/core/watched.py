@@ -117,6 +117,7 @@ class WatchedNogoodStore(NogoodStore):
         "_packed",
         "_records_by_value",
         "_records_uncond",
+        "_record_of",
         "_watchlists",
         "_suspects",
         "_suspects_uncond",
@@ -136,6 +137,8 @@ class WatchedNogoodStore(NogoodStore):
         self._packed: Optional[PackedView] = None
         self._records_by_value: Dict[Value, List[_Record]] = {}
         self._records_uncond: List[_Record] = []
+        #: nogood -> its kernel record, for O(1) eviction.
+        self._record_of: Dict[Nogood, _Record] = {}
         #: codec bit -> records currently watching that pair. Stale entries
         #: (left behind by demotions) are dropped lazily on the next fire.
         self._watchlists: Dict[int, List[_Record]] = {}
@@ -158,10 +161,13 @@ class WatchedNogoodStore(NogoodStore):
 
     # -- content management ------------------------------------------------
 
-    def add(self, nogood: Nogood) -> bool:
-        """Record *nogood* and index it for watched consultation."""
-        if not super().add(nogood):
-            return False
+    def _index_added(self, nogood: Nogood) -> None:
+        """Index the freshly stored *nogood* for watched consultation.
+
+        Called by :meth:`NogoodStore.add` after the base structures are
+        updated and *before* retention enforcement runs, so the kernel
+        record exists by the time a policy may evict the nogood.
+        """
         mask, rest = nogood_rest_bits(self._codec, nogood, self.own_variable)
         if self._packed is not None:
             # Fold freshly allocated codec bits (and any pending view
@@ -189,11 +195,48 @@ class WatchedNogoodStore(NogoodStore):
             )
             self._sorted_keys_cache.clear()
         records.append(record)
+        self._record_of[nogood] = record
         record.prio_key = self._record_key(record)
         for variable in others:
             self._peer_records.setdefault(variable, []).append(record)
         self._install_watches(record)
-        return True
+
+    def _index_removed(self, nogood: Nogood) -> None:
+        """Dismantle the kernel record of an evicted *nogood*.
+
+        Bucket positions are renumbered so they keep mirroring the
+        reference store's scan order; watchlist entries are neutralized
+        (marking the record suspect makes :meth:`_fire` skip them lazily,
+        exactly like stale entries from demotions) rather than searched
+        for and deleted eagerly.
+        """
+        record = self._record_of.pop(nogood)
+        if record.key is _UNCONDITIONAL:
+            records = self._records_uncond
+            self._suspects_uncond.pop(record, None)
+            self._sorted_keys_cache.clear()
+        else:
+            records = self._records_by_value[record.key]
+            suspects = self._suspects.get(record.key)
+            if suspects is not None:
+                suspects.pop(record, None)
+                if not suspects:
+                    del self._suspects[record.key]
+            self._sorted_keys_cache.pop(record.key, None)
+        records.pop(record.position)
+        for later in records[record.position :]:
+            later.position -= 1
+        if record.key is not _UNCONDITIONAL and not records:
+            del self._records_by_value[record.key]
+        for variable in record.others:
+            peers = self._peer_records.get(variable)
+            if peers is not None:
+                peers.remove(record)
+                if not peers:
+                    del self._peer_records[variable]
+        record.watch_a = None
+        record.watch_b = None
+        record.suspect = True
 
     # -- watch machinery ----------------------------------------------------
 
@@ -313,6 +356,41 @@ class WatchedNogoodStore(NogoodStore):
             self._install_watches(record)
         return violated
 
+    # -- retention touch parity ---------------------------------------------
+    #
+    # With a use-tracking retention policy attached, the reference store
+    # reports every confirmed violation through ``on_use`` in scan order
+    # (bucket, then unconditional; ``is_consistent`` stops at the first).
+    # The fast paths below replay the same touches from the violated
+    # record sets, sorted by reference position — so eviction decisions
+    # are bit-identical across backends. Without such a policy the
+    # ``_track_use`` flag is False and none of this runs.
+
+    def _touch_sorted(self, ordered: List[Tuple[int, Nogood]]) -> None:
+        """Report an already position-sorted violation batch to the policy."""
+        retention = self._retention
+        if retention is None:
+            return
+        for _position, nogood in ordered:
+            retention.on_use(nogood)
+
+    def _touch_records(
+        self,
+        violated_bucket: Sequence[_Record],
+        violated_uncond: Sequence[_Record],
+        bucket_len: int,
+    ) -> None:
+        """Report violated records to the policy in reference scan order."""
+        ordered = [
+            (record.position, record.nogood) for record in violated_bucket
+        ]
+        ordered.extend(
+            (bucket_len + record.position, record.nogood)
+            for record in violated_uncond
+        )
+        ordered.sort(key=lambda item: item[0])
+        self._touch_sorted(ordered)
+
     def _record_key(self, record: _Record) -> OrderKey:
         """*record*'s priority key under the adopted view's priorities.
 
@@ -392,11 +470,13 @@ class WatchedNogoodStore(NogoodStore):
         """How many stored nogoods are violated with the owner at *own_value*."""
         if not self._adopt_and_sync(view):
             return super().count_violated(view, own_value)
-        total = self._bucket_len(own_value) + len(self._unconditional)
-        self.counter.bump(total)
-        return len(self._violated_bucket(own_value)) + len(
-            self._violated_uncond()
-        )
+        bucket_len = self._bucket_len(own_value)
+        self.counter.bump(bucket_len + len(self._unconditional))
+        violated_bucket = self._violated_bucket(own_value)
+        violated_uncond = self._violated_uncond()
+        if self._track_use:
+            self._touch_records(violated_bucket, violated_uncond, bucket_len)
+        return len(violated_bucket) + len(violated_uncond)
 
     def violated(self, view: AgentView, own_value: Value) -> List[Nogood]:
         """All violated nogoods, in the reference store's scan order."""
@@ -413,6 +493,8 @@ class WatchedNogoodStore(NogoodStore):
             for record in self._violated_uncond()
         )
         ordered.sort(key=lambda item: item[0])
+        if self._track_use:
+            self._touch_sorted(ordered)
         return [nogood for _position, nogood in ordered]
 
     def is_consistent(self, view: AgentView, own_value: Value) -> bool:
@@ -423,18 +505,25 @@ class WatchedNogoodStore(NogoodStore):
         total = bucket_len + len(self._unconditional)
         violated_bucket = self._violated_bucket(own_value)
         if violated_bucket:
-            first = min(record.position for record in violated_bucket)
+            first_record = min(
+                violated_bucket, key=lambda record: record.position
+            )
+            first = first_record.position
         else:
             violated_uncond = self._violated_uncond()
             if violated_uncond:
-                first = bucket_len + min(
-                    record.position for record in violated_uncond
+                first_record = min(
+                    violated_uncond, key=lambda record: record.position
                 )
+                first = bucket_len + first_record.position
             else:
                 self.counter.bump(total)
                 return True
         # The reference scan stops at the first violated nogood, having
-        # tested everything up to and including it.
+        # tested everything up to and including it — and touches only that
+        # first violation.
+        if self._track_use and self._retention is not None:
+            self._retention.on_use(first_record.nogood)
         self.counter.bump(first + 1)
         return False
 
@@ -471,6 +560,8 @@ class WatchedNogoodStore(NogoodStore):
             if record.prio_key > my_key
         )
         ordered.sort(key=lambda item: item[0])
+        if self._track_use:
+            self._touch_sorted(ordered)
         return [nogood for _position, nogood in ordered]
 
     def count_violated_lower(
@@ -489,14 +580,21 @@ class WatchedNogoodStore(NogoodStore):
         self.counter.bump(lower)
         if lower == 0:
             return 0
-        count = 0
-        for record in self._violated_bucket(own_value):
-            if record.prio_key <= my_key:
-                count += 1
-        for record in self._violated_uncond():
-            if record.prio_key <= my_key:
-                count += 1
-        return count
+        lower_bucket = [
+            record
+            for record in self._violated_bucket(own_value)
+            if record.prio_key <= my_key
+        ]
+        lower_uncond = [
+            record
+            for record in self._violated_uncond()
+            if record.prio_key <= my_key
+        ]
+        if self._track_use:
+            self._touch_records(
+                lower_bucket, lower_uncond, self._bucket_len(own_value)
+            )
+        return len(lower_bucket) + len(lower_uncond)
 
     # -- counted batch consultation -----------------------------------------
     #
@@ -539,6 +637,8 @@ class WatchedNogoodStore(NogoodStore):
                 if record.prio_key > my_key
             )
             ordered.sort(key=lambda item: item[0])
+            if self._track_use:
+                self._touch_sorted(ordered)
             results.append([nogood for _position, nogood in ordered])
         return results
 
@@ -554,11 +654,11 @@ class WatchedNogoodStore(NogoodStore):
             )
         self._refresh_keys(view)
         my_key = order_key(own_priority, self.own_variable)
-        uncond_lower = sum(
-            1
+        lower_uncond = [
+            record
             for record in self._violated_uncond()
             if record.prio_key <= my_key
-        )
+        ]
         results: List[int] = []
         for own_value in values:
             keys = self._sorted_combined_keys(own_value)
@@ -567,11 +667,16 @@ class WatchedNogoodStore(NogoodStore):
             if lower == 0:
                 results.append(0)
                 continue
-            count = uncond_lower
-            for record in self._violated_bucket(own_value):
-                if record.prio_key <= my_key:
-                    count += 1
-            results.append(count)
+            lower_bucket = [
+                record
+                for record in self._violated_bucket(own_value)
+                if record.prio_key <= my_key
+            ]
+            if self._track_use:
+                self._touch_records(
+                    lower_bucket, lower_uncond, self._bucket_len(own_value)
+                )
+            results.append(len(lower_bucket) + len(lower_uncond))
         return results
 
     def count_violated_batch(
@@ -579,12 +684,18 @@ class WatchedNogoodStore(NogoodStore):
     ) -> List[int]:
         if not self._adopt_and_sync(view):
             return super().count_violated_batch(view, values)
-        uncond = len(self._violated_uncond())
+        violated_uncond = self._violated_uncond()
         uncond_total = len(self._unconditional)
         results: List[int] = []
         for own_value in values:
-            self.counter.bump(self._bucket_len(own_value) + uncond_total)
-            results.append(len(self._violated_bucket(own_value)) + uncond)
+            bucket_len = self._bucket_len(own_value)
+            self.counter.bump(bucket_len + uncond_total)
+            violated_bucket = self._violated_bucket(own_value)
+            if self._track_use:
+                self._touch_records(
+                    violated_bucket, violated_uncond, bucket_len
+                )
+            results.append(len(violated_bucket) + len(violated_uncond))
         return results
 
     def violated_batch(
@@ -607,6 +718,8 @@ class WatchedNogoodStore(NogoodStore):
                 for record in violated_uncond
             )
             ordered.sort(key=lambda item: item[0])
+            if self._track_use:
+                self._touch_sorted(ordered)
             results.append([nogood for _position, nogood in ordered])
         return results
 

@@ -30,11 +30,18 @@ Five axes:
   its pinned corpus: schedule-exploration throughput, the DPOR prune
   ratio, and zero invariant violations. Writes ``BENCH_verify.json``;
   ``--gate`` applies the same 20% regression rule to schedules/sec.
+* ``--axis retention`` — the nogood retention subsystem
+  (:mod:`repro.retention`): keep-all parity against the retention-free
+  default, dict-vs-watched eviction parity under ``lru``, then the soak
+  stream (:mod:`repro.experiments.soak`) over every policy, asserting
+  solution re-verification and budget compliance. Writes
+  ``BENCH_kb_memory.json``; ``--gate`` applies the 20% rule to the soak
+  stream's checks/sec.
 
 Usage::
 
     PYTHONPATH=src python tools/bench_smoke.py
-        [--axis workers|backend|lint|store|verify] [--jobs N]
+        [--axis workers|backend|lint|store|verify|retention] [--jobs N]
         [--output PATH] [--gate [BASELINE]]
 
 The grid is deliberately small (quick-scale sizes, a few seconds per leg)
@@ -603,6 +610,148 @@ def run_store_bench(output: str, gate: Optional[str]) -> int:
     return 0
 
 
+# -- the retention axis ---------------------------------------------------------
+
+#: Soak-stream shape for ``--axis retention`` (kept small for CI).
+RETENTION_SOAK_EPISODES = 40
+RETENTION_SOAK_POOL = 4
+RETENTION_SOAK_N = 15
+RETENTION_SOAK_BUDGET = 32
+RETENTION_SOAK_CYCLES = 500
+
+#: Grid cells re-run for the keep-all parity leg (a subset of GRID).
+RETENTION_PARITY_GRID = GRID[:2] + GRID[2:3]
+
+
+def run_retention_bench(output: str, gate: Optional[str]) -> int:
+    """The ``--axis retention`` benchmark: policy parity + the soak stream.
+
+    Three load-bearing properties, asserted rather than merely reported:
+
+    * ``retention=None`` and ``retention="keep-all"`` reproduce each
+      other bit-identically on real table cells (the paper's
+      record-forever behaviour is the literal default code path);
+    * a bounded policy produces bit-identical trial results on the dict
+      and watched store backends (eviction decisions are
+      backend-independent, like check counting);
+    * the soak stream solves with every solution re-verified against the
+      original constraints, and bounded policies never exceed the
+      nogood budget.
+
+    The gated throughput metric is the soak stream's counted checks per
+    second — the end-to-end cost of consulting bounded knowledge bases.
+    """
+    from .soak import DEFAULT_POLICIES, run_soak
+
+    print(
+        f"bench_smoke: retention axis — {len(RETENTION_PARITY_GRID)} "
+        "parity cells, then the soak stream over "
+        f"{len(DEFAULT_POLICIES)} policies"
+    )
+    parity_cells = []
+    for family, n, num_instances, inits, label in RETENTION_PARITY_GRID:
+        instances = instances_for(family, n, num_instances, MASTER_SEED)
+        spec = algorithm_by_name(label)
+        legs = {}
+        for leg, store, retention in (
+            ("default", "dict", None),
+            ("keep-all", "dict", "keep-all"),
+            ("lru-dict", "dict", f"lru:{RETENTION_SOAK_BUDGET}"),
+            ("lru-watched", "watched", f"lru:{RETENTION_SOAK_BUDGET}"),
+        ):
+            cell = run_cell(
+                instances,
+                spec,
+                inits_per_instance=inits,
+                master_seed=MASTER_SEED,
+                n=n,
+                max_cycles=MAX_CYCLES,
+                workers=1,
+                store=store,
+                retention=retention,
+            )
+            legs[leg] = cell_measures(cell)
+        name = f"{family}-n{n}-{label}"
+        if legs["default"] != legs["keep-all"]:
+            print(f"FATAL: keep-all diverges from the default on {name}")
+            return 1
+        if legs["lru-dict"] != legs["lru-watched"]:
+            print(
+                f"FATAL: lru evictions diverge between dict and watched "
+                f"stores on {name}"
+            )
+            return 1
+        parity_cells.append(name)
+    print(
+        f"parity: keep-all == default and lru dict == watched on "
+        f"{len(parity_cells)} cells"
+    )
+
+    started = time.perf_counter()
+    soak = run_soak(
+        policies=DEFAULT_POLICIES,
+        budget=RETENTION_SOAK_BUDGET,
+        episodes=RETENTION_SOAK_EPISODES,
+        pool=RETENTION_SOAK_POOL,
+        n=RETENTION_SOAK_N,
+        max_cycles=RETENTION_SOAK_CYCLES,
+        seed=MASTER_SEED,
+    )
+    elapsed = time.perf_counter() - started
+    if not soak.all_verified:
+        print("FATAL: a solved soak episode failed solution re-verification")
+        return 1
+    if not soak.all_within_budget:
+        print(
+            f"FATAL: a bounded policy exceeded the "
+            f"{RETENTION_SOAK_BUDGET}-nogood budget"
+        )
+        return 1
+    total_checks = sum(row.total_checks for row in soak.policies)
+    checks_per_second = round(total_checks / elapsed) if elapsed else 0
+
+    report = {
+        "benchmark": "kb_memory",
+        "machine": {
+            "cpu_count": os.cpu_count() or 1,
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+        },
+        "parity": {
+            "cells": parity_cells,
+            "legs": ["default", "keep-all", "lru-dict", "lru-watched"],
+            "results_identical": True,
+        },
+        "soak": {
+            **soak.to_json(),
+            "wall_seconds": round(elapsed, 4),
+            "total_checks": total_checks,
+            "checks_per_second": checks_per_second,
+        },
+        "results_identical": True,
+        "note": (
+            "parity reruns real table cells asserting keep-all == the "
+            "retention-free default (bit-identical) and that lru evicts "
+            "identically on the dict and watched store backends; the soak "
+            "leg streams episodes through persistent agent populations "
+            "under a nogood budget, re-verifying every solution and "
+            "asserting bounded policies stay within budget — "
+            "checks_per_second is the gated end-to-end throughput"
+        ),
+    }
+    Path(output).write_text(json.dumps(report, indent=2) + "\n")
+    print(soak.format_text())
+    print(
+        f"soak: {elapsed:.2f}s, {total_checks:,} checks "
+        f"({checks_per_second:,} checks/s)"
+    )
+    print(f"wrote {output}")
+    if gate is not None:
+        metric_path, label = GATE_METRICS["retention"]
+        return check_gate(gate, checks_per_second, metric_path, label)
+    return 0
+
+
 def run_verify_bench(output: str, gate: Optional[str]) -> int:
     """``--axis verify``: the interleaving verifier as a benchmark.
 
@@ -673,6 +822,10 @@ GATE_METRICS: Dict[str, Tuple[Tuple[str, ...], str]] = {
         ("verify", "schedules_per_second"),
         "verify schedules/sec",
     ),
+    "retention": (
+        ("soak", "checks_per_second"),
+        "retention soak checks/sec",
+    ),
 }
 
 
@@ -725,13 +878,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--axis",
-        choices=("workers", "backend", "lint", "store", "verify"),
+        choices=("workers", "backend", "lint", "store", "verify", "retention"),
         default="workers",
         help="what to compare: sequential vs parallel execution, the "
         "sync vs event-driven engines (both legs sequential), two "
         "passes of the whole-program lint analyzer, the dict vs "
-        "watched/bitset nogood-store backends, or the interleaving "
-        "verifier's schedule-exploration throughput",
+        "watched/bitset nogood-store backends, the interleaving "
+        "verifier's schedule-exploration throughput, or the nogood "
+        "retention subsystem's parity and soak stream",
     )
     parser.add_argument(
         "--jobs",
@@ -753,9 +907,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         const="",
         default=None,
         metavar="BASELINE",
-        help="(--axis store/verify) fail if the axis's throughput metric "
-        "drops more than 20%% below the BASELINE report (default: the "
-        "committed BENCH_store_kernel.json / BENCH_verify.json)",
+        help="(--axis store/verify/retention) fail if the axis's "
+        "throughput metric drops more than 20%% below the BASELINE "
+        "report (default: the committed BENCH_store_kernel.json / "
+        "BENCH_verify.json / BENCH_kb_memory.json)",
     )
     args = parser.parse_args(argv)
     cores = os.cpu_count() or 1
@@ -779,6 +934,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         if gate == "":
             gate = str(repo_root / "BENCH_verify.json")
         return run_verify_bench(output, gate)
+
+    if args.axis == "retention":
+        output = args.output or str(repo_root / "BENCH_kb_memory.json")
+        gate = args.gate
+        if gate == "":
+            gate = str(repo_root / "BENCH_kb_memory.json")
+        return run_retention_bench(output, gate)
 
     if args.axis == "backend":
         output = args.output or str(repo_root / "BENCH_event_engine.json")

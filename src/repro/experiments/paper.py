@@ -255,6 +255,7 @@ def run_table_cell(
     workers: Optional[int] = None,
     backend: str = "sync",
     store: str = "dict",
+    retention: Optional[str] = None,
 ) -> CellResult:
     """One (family, n, algorithm) cell at the given trial counts.
 
@@ -264,7 +265,9 @@ def run_table_cell(
     (``"sync"`` or ``"events"``; the latter runs in parity mode here, so
     the table values are identical by construction — see
     :mod:`repro.runtime.events`). ``store`` selects the nogood-store
-    backend the same way (also result-identical by construction).
+    backend the same way (also result-identical by construction), and
+    ``retention`` the nogood retention policy (``None``/``keep-all`` is
+    the paper's record-forever behaviour; see :mod:`repro.retention`).
     """
     instances = instances_for(family, n, num_instances, seed)
     return run_cell(
@@ -277,6 +280,7 @@ def run_table_cell(
         workers=workers,
         backend=backend,
         store=store,
+        retention=retention,
     )
 
 
@@ -287,6 +291,7 @@ def run_table(
     workers: Optional[int] = None,
     backend: str = "sync",
     store: str = "dict",
+    retention: Optional[str] = None,
 ) -> Table:
     """Reproduce one of Tables 1–3 / 5–10."""
     if number == 4:
@@ -314,6 +319,7 @@ def run_table(
                 workers=workers,
                 backend=backend,
                 store=store,
+                retention=retention,
             )
             table.add(TableRow.from_cell(cell))
     return table
@@ -325,6 +331,7 @@ def run_table4(
     workers: Optional[int] = None,
     backend: str = "sync",
     store: str = "dict",
+    retention: Optional[str] = None,
 ) -> List[Table]:
     """Reproduce Table 4: redundant nogood generations, rec vs norec.
 
@@ -354,6 +361,7 @@ def run_table4(
                     workers=workers,
                     backend=backend,
                     store=store,
+                    retention=retention,
                 )
                 table.add(
                     TableRow.from_cell(

@@ -123,6 +123,7 @@ def _init_worker(
     backend: str = "sync",
     transport_factory: Optional[TransportFactory] = None,
     store: str = "dict",
+    retention: Optional[str] = None,
 ) -> None:
     kind, payload = algorithm_ref
     algorithm = (
@@ -135,6 +136,7 @@ def _init_worker(
     _WORKER["backend"] = backend
     _WORKER["transport_factory"] = transport_factory
     _WORKER["store"] = store
+    _WORKER["retention"] = retention
 
 
 def _run_trial_task(
@@ -149,6 +151,7 @@ def _run_trial_task(
         backend=_WORKER["backend"],
         transport_factory=_WORKER["transport_factory"],
         store=_WORKER["store"],
+        retention=_WORKER["retention"],
     )
     return trial_index, result
 
@@ -168,6 +171,7 @@ def run_cell_parallel(
     backend: str = "sync",
     transport_factory: Optional[TransportFactory] = None,
     store: str = "dict",
+    retention: Optional[str] = None,
 ) -> CellResult:
     """One cell, trials distributed over *workers* processes.
 
@@ -178,7 +182,9 @@ def run_cell_parallel(
     and silently when one worker would gain nothing. The ``backend`` /
     ``transport_factory`` pair travels to the workers like the network
     factory does, so event-driven cells parallelize identically; the
-    ``store`` backend label is a plain string and ships the same way.
+    ``store`` backend label is a plain string and ships the same way, as
+    does the ``retention`` policy spec (workers rebuild the policy objects
+    from it, one per store, so no policy state crosses the boundary).
     """
     effective = resolve_workers(workers)
     tasks = list(
@@ -196,6 +202,7 @@ def run_cell_parallel(
             backend,
             transport_factory,
             store,
+            retention,
         )
     algorithm_ref = _algorithm_reference(algorithm)
     shippable = (
@@ -223,6 +230,7 @@ def run_cell_parallel(
             backend,
             transport_factory,
             store,
+            retention,
         )
     effective = min(effective, len(tasks))
     results: List[Optional[RunResult]] = [None] * len(tasks)
@@ -237,6 +245,7 @@ def run_cell_parallel(
             backend,
             transport_factory,
             store,
+            retention,
         ),
     ) as pool:
         futures = [
@@ -267,6 +276,7 @@ def _run_sequentially(
     backend: str = "sync",
     transport_factory: Optional[TransportFactory] = None,
     store: str = "dict",
+    retention: Optional[str] = None,
 ) -> CellResult:
     return _runner.run_cell(
         instances,
@@ -280,4 +290,5 @@ def _run_sequentially(
         backend=backend,
         transport_factory=transport_factory,
         store=store,
+        retention=retention,
     )

@@ -133,6 +133,7 @@ def run_trial(
     transport_factory: Optional[TransportFactory] = None,
     tracer: Optional["TraceRecorder"] = None,
     store: str = "dict",
+    retention: Optional[str] = None,
 ) -> RunResult:
     """One trial: build agents, simulate, return the run's measurements.
 
@@ -153,6 +154,14 @@ def run_trial(
     ``"dict"`` does, so those two produce bit-identical results (which the
     store-kernel benchmark asserts). The ``"linear"`` reference runs every
     test the indexes skip, so its check counts are an upper bound.
+
+    ``retention`` selects the nogood retention policy (a spec such as
+    ``"lru:100"``; see :mod:`repro.retention`). One policy instance is
+    built per agent store, one :class:`~repro.retention.NogoodInterner`
+    is shared by all agents of the trial, and pinned nogoods — initial
+    constraints and the latest announced resolvent per sender — are
+    never evicted. ``None`` (and ``"keep-all"``) reproduce the paper's
+    record-forever behaviour exactly.
     """
     if backend not in BACKENDS:
         raise ModelError(
@@ -163,6 +172,11 @@ def run_trial(
             f"unknown store backend {store!r}; expected one of "
             f"{STORE_BACKENDS}"
         )
+    policy_factory = None
+    if retention is not None and retention != "keep-all":
+        from ..retention import retention_factory
+
+        policy_factory = retention_factory(retention)
     metrics = MetricsCollector()
     initial = random_initial_assignment(problem, seed)
     agents = algorithm.build(problem, metrics, seed, initial)
@@ -170,6 +184,12 @@ def run_trial(
         store_class = store_class_by_name(store)
         for agent in agents:
             agent.rebind_store(store_class)
+    if policy_factory is not None:
+        from ..retention import NogoodInterner
+
+        interner = NogoodInterner()
+        for agent in agents:
+            agent.attach_retention(policy_factory, interner)
     if backend == "events":
         if network_factory is not synchronous_network_factory:
             raise ModelError(
@@ -291,6 +311,7 @@ def run_cell(
     backend: str = "sync",
     transport_factory: Optional[TransportFactory] = None,
     store: str = "dict",
+    retention: Optional[str] = None,
 ) -> CellResult:
     """One cell: every instance × every initial-value set.
 
@@ -319,6 +340,7 @@ def run_cell(
             backend=backend,
             transport_factory=transport_factory,
             store=store,
+            retention=retention,
         )
     cell = CellResult(label=algorithm.name, n=n)
     for instance_index, _init_index, trial_seed in trial_parameters(
@@ -334,6 +356,7 @@ def run_cell(
                 backend=backend,
                 transport_factory=transport_factory,
                 store=store,
+                retention=retention,
             )
         )
     return cell

@@ -1,0 +1,77 @@
+"""Cross-agent nogood interning: one object per structural nogood.
+
+Announced nogoods fan out to every agent whose variable they mention, and
+initial binary constraints live in both endpoints' stores — so a trial
+holds each structurally distinct nogood several times over. A
+:class:`NogoodInterner` shared by all agents of a trial maps each
+:class:`~repro.core.nogood.Nogood` to one canonical instance; stores
+intern on :meth:`~repro.core.store.NogoodStore.add`, so duplicates across
+agents collapse to references to a single object.
+
+Interning is invisible to the search: ``Nogood`` equality and hashing are
+structural, so swapping an equal instance changes no store decision, no
+scan order and no tie-break. The win is memory (one pair-set per distinct
+nogood instead of one per recording agent) and cheaper equality checks on
+the completeness rule's ``nogood == last_generated`` comparison (interned
+equals are identity-equal, and ``==`` short-circuits on identity via the
+frozenset comparison).
+
+The interner is per trial — created in
+:func:`~repro.experiments.runner.run_trial` next to the metrics collector
+— so parallel trials never share one (no cross-process state, nothing to
+pickle).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..core.nogood import Nogood
+
+
+class NogoodInterner:
+    """A canonicalizing map from structural nogoods to shared instances."""
+
+    __slots__ = ("_canonical", "hits", "misses")
+
+    def __init__(self) -> None:
+        self._canonical: Dict[Nogood, Nogood] = {}
+        #: How many intern calls returned an existing instance — each hit
+        #: is one duplicate nogood object made shareable.
+        self.hits = 0
+        self.misses = 0
+
+    def intern(self, nogood: Nogood) -> Nogood:
+        """The canonical instance equal to *nogood* (registering it if new)."""
+        canonical = self._canonical.get(nogood)
+        if canonical is not None:
+            self.hits += 1
+            return canonical
+        self._canonical[nogood] = nogood
+        self.misses += 1
+        return nogood
+
+    def __len__(self) -> int:
+        return len(self._canonical)
+
+    def __contains__(self, nogood: Nogood) -> bool:
+        return nogood in self._canonical
+
+    @property
+    def unique(self) -> int:
+        """How many structurally distinct nogoods have been interned."""
+        return len(self._canonical)
+
+    def stats(self) -> Dict[str, int]:
+        """Dedup counters, JSON-ready (for the soak report)."""
+        return {
+            "unique": self.unique,
+            "hits": self.hits,
+            "misses": self.misses,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"NogoodInterner(unique={self.unique}, hits={self.hits}, "
+            f"misses={self.misses})"
+        )

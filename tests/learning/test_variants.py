@@ -102,3 +102,28 @@ class TestFactory:
     def test_unknown_name_raises(self):
         with pytest.raises(ModelError):
             learning_method("Magic")
+
+
+class TestFactoryEdgeCases:
+    def test_zeroth_matches_pattern_but_violates_bound(self):
+        # "0thRslv" parses as an ordinal, so the size-bound constructor —
+        # not the name lookup — rejects it, with the bound in the message.
+        with pytest.raises(ModelError, match="at least 1, got 0"):
+            learning_method("0thRslv")
+
+    def test_first_is_a_valid_bound(self):
+        method = learning_method("1stRslv")
+        assert isinstance(method, SizeBoundedResolventLearning)
+        assert method.k == 1
+        assert method.name == "1stRslv"
+
+    @pytest.mark.parametrize("name", ["2ndrslv", "thRslv", "ndRslv", "2Rslv"])
+    def test_malformed_ordinals_are_unknown_names(self, name):
+        # Case-sensitive suffix, mandatory digits: near-misses fall
+        # through to the unknown-name error rather than half-parsing.
+        with pytest.raises(ModelError, match="unknown learning method"):
+            learning_method(name)
+
+    def test_unknown_name_error_carries_the_name(self):
+        with pytest.raises(ModelError, match=r"'Magic'"):
+            learning_method("Magic")

@@ -1,0 +1,46 @@
+"""The cross-agent nogood interner: canonicalization and statistics."""
+
+from repro.core.nogood import Nogood
+from repro.retention import NogoodInterner
+
+
+class TestIntern:
+    def test_first_copy_becomes_canonical(self):
+        interner = NogoodInterner()
+        first = Nogood.of((0, 0), (1, 1))
+        assert interner.intern(first) is first
+
+    def test_equal_copies_collapse_to_one_object(self):
+        interner = NogoodInterner()
+        first = Nogood.of((0, 0), (1, 1))
+        second = Nogood.of((0, 0), (1, 1))
+        assert second is not first
+        interner.intern(first)
+        assert interner.intern(second) is first
+
+    def test_distinct_nogoods_stay_distinct(self):
+        interner = NogoodInterner()
+        a = interner.intern(Nogood.of((0, 0), (1, 1)))
+        b = interner.intern(Nogood.of((0, 0), (1, 2)))
+        assert a is not b
+        assert len(interner) == 2
+
+    def test_contains_and_unique(self):
+        interner = NogoodInterner()
+        nogood = Nogood.of((0, 0), (2, 1))
+        assert nogood not in interner
+        interner.intern(nogood)
+        assert nogood in interner
+        assert Nogood.of((0, 0), (2, 1)) in interner
+        assert interner.unique == 1
+
+
+class TestStats:
+    def test_hits_and_misses_counted(self):
+        interner = NogoodInterner()
+        nogood = Nogood.of((0, 0), (1, 1))
+        interner.intern(nogood)
+        interner.intern(Nogood.of((0, 0), (1, 1)))
+        interner.intern(Nogood.of((0, 0), (1, 1)))
+        interner.intern(Nogood.of((3, 0), (4, 0)))
+        assert interner.stats() == {"unique": 2, "hits": 2, "misses": 2}

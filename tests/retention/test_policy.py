@@ -1,0 +1,200 @@
+"""The retention policies: eviction choices, caps, and the spec parser."""
+
+import pytest
+
+from repro.core.exceptions import ModelError
+from repro.core.nogood import Nogood
+from repro.core.store import NogoodStore
+from repro.retention import (
+    DEFAULT_CAP,
+    DEFAULT_HALF_LIFE,
+    RETENTION_POLICIES,
+    retention_factory,
+    retention_policy,
+    spec_with_budget,
+)
+from repro.retention.policy import (
+    ActivityDecayPolicy,
+    KeepAllPolicy,
+    LruPolicy,
+    SubsumptionPrunePolicy,
+    select_over_cap,
+)
+
+
+def learned(store, *nogoods):
+    for nogood in nogoods:
+        store.add(nogood)
+
+
+def make_store(policy=None):
+    store = NogoodStore(own_variable=0)
+    if policy is not None:
+        store.set_retention(policy)
+    return store
+
+
+class TestKeepAll:
+    def test_never_evicts(self):
+        store = make_store(KeepAllPolicy())
+        learned(store, *(Nogood.of((0, 0), (1, k)) for k in range(50)))
+        assert store.learned_count() == 50
+        assert store.evictions == 0
+
+    def test_metadata(self):
+        policy = KeepAllPolicy()
+        assert policy.name == "keep-all"
+        assert not policy.bounded
+        assert not policy.tracks_use
+
+
+class TestLru:
+    def test_cap_enforced_in_insertion_order(self):
+        store = make_store(LruPolicy(cap=3))
+        nogoods = [Nogood.of((0, 0), (1, k)) for k in range(5)]
+        learned(store, *nogoods)
+        assert store.learned_count() == 3
+        # Oldest two went first.
+        assert nogoods[0] not in store
+        assert nogoods[1] not in store
+        assert all(nogood in store for nogood in nogoods[2:])
+
+    def test_use_refreshes_recency(self):
+        policy = LruPolicy(cap=2)
+        store = make_store(policy)
+        a = Nogood.of((0, 0), (1, 0))
+        b = Nogood.of((0, 0), (1, 1))
+        learned(store, a, b)
+        policy.on_use(a)  # b is now the least recently used
+        c = Nogood.of((0, 0), (1, 2))
+        store.add(c)
+        assert a in store
+        assert b not in store
+        assert c in store
+
+    def test_invalid_cap_rejected(self):
+        with pytest.raises(ModelError):
+            LruPolicy(cap=0)
+
+    def test_metadata(self):
+        policy = LruPolicy(cap=4)
+        assert policy.bounded
+        assert policy.tracks_use
+        assert "4" in policy.name
+
+
+class TestActivityDecay:
+    def test_cap_enforced(self):
+        store = make_store(ActivityDecayPolicy(cap=3))
+        learned(store, *(Nogood.of((0, 0), (1, k)) for k in range(6)))
+        assert store.learned_count() == 3
+
+    def test_active_nogood_survives(self):
+        policy = ActivityDecayPolicy(cap=2, half_life=4)
+        store = make_store(policy)
+        a = Nogood.of((0, 0), (1, 0))
+        b = Nogood.of((0, 0), (1, 1))
+        learned(store, a, b)
+        for _ in range(8):
+            policy.on_use(a)
+        store.add(Nogood.of((0, 0), (1, 2)))
+        assert a in store
+        assert b not in store
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ModelError):
+            ActivityDecayPolicy(cap=0)
+        with pytest.raises(ModelError):
+            ActivityDecayPolicy(cap=2, half_life=0)
+
+
+class TestSubsumptionPrune:
+    def test_subset_evicts_supersets(self):
+        store = make_store(SubsumptionPrunePolicy())
+        wide = Nogood.of((0, 0), (1, 0), (2, 0))
+        wider = Nogood.of((0, 0), (1, 0), (3, 1))
+        learned(store, wide, wider)
+        tight = Nogood.of((0, 0), (1, 0))
+        store.add(tight)
+        assert tight in store
+        assert wide not in store
+        assert wider not in store
+        assert store.evictions == 2
+
+    def test_unrelated_nogoods_survive(self):
+        store = make_store(SubsumptionPrunePolicy())
+        other = Nogood.of((0, 1), (2, 1))
+        learned(store, other)
+        store.add(Nogood.of((0, 0), (1, 0)))
+        assert other in store
+        assert store.learned_count() == 2
+
+    def test_unbounded(self):
+        assert not SubsumptionPrunePolicy().bounded
+
+
+class TestSelectOverCap:
+    def test_empty_when_under_cap(self):
+        store = make_store()
+        learned(store, Nogood.of((0, 0), (1, 0)))
+        assert select_over_cap(store, 5, lambda nogood: 0) == []
+
+    def test_lowest_scores_selected(self):
+        store = make_store()
+        nogoods = [Nogood.of((0, 0), (1, k)) for k in range(4)]
+        learned(store, *nogoods)
+        scores = {nogood: index for index, nogood in enumerate(nogoods)}
+        victims = select_over_cap(store, 2, scores.__getitem__)
+        assert victims == nogoods[:2]
+
+    def test_pinned_excluded(self):
+        store = make_store()
+        pinned = Nogood.of((0, 0), (1, 99))
+        store.add(pinned, pinned=True)
+        nogoods = [Nogood.of((0, 0), (1, k)) for k in range(3)]
+        learned(store, *nogoods)
+        victims = select_over_cap(store, 1, lambda nogood: 0)
+        assert pinned not in victims
+
+
+class TestSpecParser:
+    def test_every_listed_policy_parses(self):
+        for name in RETENTION_POLICIES:
+            assert retention_policy(name) is not None
+
+    def test_lru_with_cap(self):
+        policy = retention_policy("lru:9")
+        assert isinstance(policy, LruPolicy)
+        assert policy.cap == 9
+
+    def test_decay_with_cap_and_half_life(self):
+        policy = retention_policy("decay:7:12")
+        assert isinstance(policy, ActivityDecayPolicy)
+        assert policy.cap == 7
+        assert policy.half_life == 12
+
+    def test_defaults_applied(self):
+        assert retention_policy("lru").cap == DEFAULT_CAP
+        assert retention_policy("decay").half_life == DEFAULT_HALF_LIFE
+
+    @pytest.mark.parametrize(
+        "spec",
+        ["fifo", "lru:zero", "lru:0", "decay:4:0", "keep-all:3", "subsume:2"],
+    )
+    def test_bad_specs_rejected(self, spec):
+        with pytest.raises(ModelError):
+            retention_policy(spec)
+
+    def test_factory_validates_eagerly(self):
+        with pytest.raises(ModelError):
+            retention_factory("lru:-1")
+        factory = retention_factory("lru:5")
+        first, second = factory(), factory()
+        assert first is not second  # one policy instance per store
+
+    def test_spec_with_budget(self):
+        assert spec_with_budget("lru", 32) == "lru:32"
+        assert spec_with_budget("decay", 8) == "decay:8"
+        assert spec_with_budget("lru:100", 32) == "lru:100"
+        assert spec_with_budget("keep-all", 32) == "keep-all"
+        assert spec_with_budget("subsume", 32) == "subsume"

@@ -1,17 +1,20 @@
-"""Smoke benchmarks — thin shim over :mod:`repro.experiments.bench`.
+"""Smoke benchmarks — deprecated shim over :mod:`repro.experiments.bench`.
+
+Deprecated: prefer the CLI subcommand, which takes the same arguments::
+
+    PYTHONPATH=src python -m repro.cli bench
+        [--axis workers|backend|lint|store|verify|retention] [--jobs N]
+        [--output PATH] [--gate [BASELINE]]
 
 The benchmark logic lives in the package (``src/repro/experiments/bench.py``)
 so the ``repro bench`` CLI subcommand, tests and CI all share one
-implementation; this script keeps the historical entry point working::
-
-    PYTHONPATH=src python tools/bench_smoke.py
-        [--axis workers|backend|lint|store] [--jobs N] [--output PATH]
-        [--gate [BASELINE]]
+implementation; this script keeps the historical entry point working.
 """
 
 from __future__ import annotations
 
 import sys
+import warnings
 from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
@@ -19,4 +22,10 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 from repro.experiments.bench import main  # noqa: E402
 
 if __name__ == "__main__":
+    warnings.warn(
+        "tools/bench_smoke.py is deprecated; use "
+        "'PYTHONPATH=src python -m repro.cli bench' (same arguments)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     sys.exit(main())
