@@ -28,12 +28,13 @@ exercised by the extension benchmarks.
 from __future__ import annotations
 
 import random
-from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Set
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Set, Tuple
 
 from ..core.assignment import AgentView
 from ..core.nogood import Nogood
 from ..core.problem import AgentId, DisCSP
 from ..core.variables import Value, VariableId
+from ..learning.resolvent import stable_nogood_key
 
 if TYPE_CHECKING:  # the builder imports derive_rng lazily at runtime
     from ..runtime.random_source import Seed
@@ -52,6 +53,15 @@ from .base import SingleVariableAgent
 #: per domain value, unioned, own variable removed). The latter is the
 #: paper's "what if ABT learned better nogoods" counterfactual.
 ABT_LEARNING_MODES = ("view", "resolvent")
+
+
+def _smallest_nogood_order(nogood: Nogood) -> Tuple[int, object]:
+    """Sort key for "the smallest violated nogood": size, then structure.
+
+    Module-level (not a lambda at the ``min()`` call) so the per-deadend
+    path allocates no closure (lint rule H4).
+    """
+    return (len(nogood), stable_nogood_key(nogood))
 
 
 class AbtAgent(SingleVariableAgent):
@@ -192,11 +202,9 @@ class AbtAgent(SingleVariableAgent):
         value" needs no priority bookkeeping; ties are broken structurally
         for reproducibility.
         """
-        from ..learning.resolvent import stable_nogood_key
-
         pairs = set()
         violated_per_value = self.store.violated_batch(
-            self.view, list(self.domain)
+            self.view, self.domain.values
         )
         for violated in violated_per_value:
             if not violated:
@@ -206,9 +214,7 @@ class AbtAgent(SingleVariableAgent):
                     (variable, self.view.value_of(variable))
                     for variable in self.view
                 )
-            best = min(
-                violated, key=lambda g: (len(g), stable_nogood_key(g))
-            )
+            best = min(violated, key=_smallest_nogood_order)
             pairs.update(
                 pair for pair in best.pairs if pair[0] != self.variable
             )
@@ -216,13 +222,14 @@ class AbtAgent(SingleVariableAgent):
 
     def _receive_nogood(
         self, nogood: Nogood, sender: AgentId
-    ) -> List[Outgoing]:
+    ) -> Sequence[Outgoing]:
         # As in AWC, the sender's pin slot rotates onto its latest
         # backtrack nogood so retention policies cannot evict the copy
-        # the sender's backjump reasoning depends on.
-        requests: List[Outgoing] = []
+        # the sender's backjump reasoning depends on. The duplicate-add
+        # path returns an empty tuple, not a throwaway list (lint rule H1).
         if not self.store.add(nogood, slot=sender):
-            return requests
+            return ()
+        requests: List[Outgoing] = []
         for variable in sorted(nogood.variables):
             if variable != self.variable and not self.view.knows(variable):
                 requests.append(

@@ -28,6 +28,7 @@ variants.
 from __future__ import annotations
 
 import random
+from operator import itemgetter
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Set
 
 from ..core.assignment import AgentView
@@ -49,6 +50,10 @@ from .base import SingleVariableAgent, argmin_with_ties
 if TYPE_CHECKING:  # the builder imports derive_rng lazily at runtime
     from ..runtime.random_source import Seed
 
+#: Score accessor for (candidate, lower-count) pairs; module-level so the
+#: per-message selection path allocates no closure (lint rule H4).
+_lower_count_of = itemgetter(1)
+
 
 class AwcAgent(SingleVariableAgent):
     """One AWC agent: a variable, a view, a store, and a learning method."""
@@ -69,6 +74,13 @@ class AwcAgent(SingleVariableAgent):
         self.priority = 0
         self.view = AgentView()
         self.last_generated: Optional[Nogood] = None
+        # Reusable candidate-value buffers for the per-message decision
+        # procedure: ``clear()`` keeps list capacity, so once warm the scan
+        # allocates nothing (lint rule H2). Both are consumed before any
+        # call that could re-enter the decision procedure.
+        self._scratch_others: List[Value] = []
+        self._scratch_candidates: List[Value] = []
+        self._scratch_requesters: Set[AgentId] = set()
 
     def reset_episode(
         self,
@@ -118,9 +130,15 @@ class AwcAgent(SingleVariableAgent):
         return outgoing
 
     def step(self, messages: Sequence[Message]) -> List[Outgoing]:
+        # Value requests and broadcast bookkeeping live in reusable scratch
+        # sets, and outgoing messages accumulate in one list from the start
+        # (the old requests-then-copy shape allocated a set, a list and a
+        # copy on every delivery, lint rule H2). Message order is unchanged:
+        # add-link requests first, then the reaction, then requester oks.
         state_changed = False
-        requesters: Set[AgentId] = set()
-        requests_out: List[Outgoing] = []
+        requesters = self._scratch_requesters
+        requesters.clear()
+        outgoing: List[Outgoing] = []
         for message in messages:
             if isinstance(message, OkMessage):
                 if self.view.update(
@@ -131,45 +149,46 @@ class AwcAgent(SingleVariableAgent):
                 # Keep the generator informed of our future moves: it built
                 # this nogood from our announced value.
                 self.recipients.add(message.sender)
-                requests_out.extend(
+                outgoing.extend(
                     self._receive_nogood(message.nogood, message.sender)
                 )
                 state_changed = True
             elif isinstance(message, RequestValueMessage):
                 self.recipients.add(message.sender)
                 requesters.add(message.sender)
-        outgoing: List[Outgoing] = list(requests_out)
-        broadcast_targets: Set[AgentId] = set()
         if state_changed:
             reaction = self._check_agent_view()
             outgoing.extend(reaction)
-            broadcast_targets = {
-                recipient
-                for recipient, message in reaction
-                if isinstance(message, OkMessage)
-            }
-        for requester in sorted(requesters - broadcast_targets):
-            outgoing.append((requester, self._ok_message()))
+            if requesters:
+                for recipient, reaction_message in reaction:
+                    if isinstance(reaction_message, OkMessage):
+                        requesters.discard(recipient)
+        if requesters:
+            for requester in sorted(requesters):
+                outgoing.append((requester, self._ok_message()))
         return outgoing
 
     # -- the AWC decision procedure --------------------------------------------
 
     def _check_agent_view(self) -> List[Outgoing]:
         """React to the current view; returns messages to send."""
-        violated = self.store.violated_higher(
+        if not self.store.count_violated_higher(
             self.view, self.value, self.priority
-        )
-        if not violated:
+        ):
             return []
-        others = [value for value in self.domain if value != self.value]
-        higher_per_value = self.store.violated_higher_batch(
+        others = self._scratch_others
+        others.clear()
+        for value in self.domain:
+            if value != self.value:
+                others.append(value)
+        higher_per_value = self.store.count_violated_higher_batch(
             self.view, others, self.priority
         )
-        repair_candidates = [
-            value
-            for value, higher in zip(others, higher_per_value)
-            if not higher
-        ]
+        repair_candidates = self._scratch_candidates
+        repair_candidates.clear()
+        for value, higher in zip(others, higher_per_value):
+            if not higher:
+                repair_candidates.append(value)
         if repair_candidates:
             self.value = self._least_lower_violations(repair_candidates)
             return self._broadcast_ok(self.sorted_recipients())
@@ -221,15 +240,15 @@ class AwcAgent(SingleVariableAgent):
         # unary-forbidden value — nothing would ever make the agent move off
         # it, freezing the system — so those values are excluded here, and
         # lower violations are minimized among the rest.
-        all_values = list(self.domain)
-        higher_per_value = self.store.violated_higher_batch(
+        all_values = self.domain.values
+        higher_per_value = self.store.count_violated_higher_batch(
             self.view, all_values, self.priority
         )
-        candidates = [
-            value
-            for value, higher in zip(all_values, higher_per_value)
-            if not higher
-        ]
+        candidates = self._scratch_candidates
+        candidates.clear()
+        for value, higher in zip(all_values, higher_per_value):
+            if not higher:
+                candidates.append(value)
         if not candidates:
             # Every value is forbidden by a unary nogood on this variable:
             # the recursive deadend derives the empty resolvent and reports
@@ -242,19 +261,23 @@ class AwcAgent(SingleVariableAgent):
 
     def _receive_nogood(
         self, nogood: Nogood, sender: AgentId
-    ) -> List[Outgoing]:
+    ) -> Sequence[Outgoing]:
         """Record an announced nogood (policy permitting); request unknowns.
 
         The add rotates *sender*'s pin slot onto this nogood: the
         completeness rule in :meth:`_backtrack` assumes the sender's
         latest announced resolvent is still recorded somewhere, so a
         retention policy must never evict it (the completeness caveat).
+
+        Returns an empty tuple on the no-request paths — under ``norec``
+        policies that is every call, so the refused path must not build a
+        throwaway list (lint rule H1).
         """
-        requests: List[Outgoing] = []
         if not self.learning.should_record(nogood):
-            return requests
+            return ()
         if not self.store.add(nogood, slot=sender):
-            return requests
+            return ()
+        requests: List[Outgoing] = []
         for variable in sorted(nogood.variables):
             if variable != self.variable and not self.view.knows(variable):
                 requests.append(
@@ -278,8 +301,8 @@ class AwcAgent(SingleVariableAgent):
             self.view, candidates, self.priority
         )
         chosen = argmin_with_ties(
-            list(zip(candidates, lower_counts)),
-            lambda scored: scored[1],
+            zip(candidates, lower_counts),
+            _lower_count_of,
             self.rng,
         )
         return chosen[0]

@@ -15,6 +15,7 @@ from typing import (
     Iterable,
     List,
     Optional,
+    Tuple,
     Type,
     TypeVar,
 )
@@ -118,6 +119,9 @@ class SingleVariableAgent(SimulatedAgent):
             )
         self._initial_value = initial_value
         self.value: Value = self.domain.values[0]
+        # Cached sorted copy of ``recipients`` (see sorted_recipients()).
+        self._sorted_recipients: Tuple[AgentId, ...] = ()
+        self._sorted_recipients_size = -1
 
     def rebind_store(self, store_class: Type[NogoodStore]) -> None:
         """Rebuild the store as *store_class*, preserving counter and contents.
@@ -170,6 +174,16 @@ class SingleVariableAgent(SimulatedAgent):
     def local_assignment(self) -> Dict[VariableId, Value]:
         return {self.variable: self.value}
 
-    def sorted_recipients(self) -> List[AgentId]:
-        """Recipients in a deterministic order (for reproducible routing)."""
-        return sorted(self.recipients)
+    def sorted_recipients(self) -> Tuple[AgentId, ...]:
+        """Recipients in a deterministic order (for reproducible routing).
+
+        Called on every broadcast, so the sorted copy is cached and
+        invalidated by size: ``recipients`` only ever *grows* (``add`` on
+        nogood receipt and value requests; episode resets keep the grown
+        set), so an unchanged length means an unchanged set. The tuple is
+        shared between calls — callers must not mutate it.
+        """
+        if len(self.recipients) != self._sorted_recipients_size:
+            self._sorted_recipients = tuple(sorted(self.recipients))
+            self._sorted_recipients_size = len(self.recipients)
+        return self._sorted_recipients

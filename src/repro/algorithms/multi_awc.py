@@ -24,7 +24,16 @@ agents.
 from __future__ import annotations
 
 import random
-from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Type
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Type,
+)
 
 from ..core.exceptions import ModelError
 from ..core.problem import AgentId, DisCSP
@@ -91,12 +100,17 @@ class MultiVariableAwcAgent(SimulatedAgent):
             handler.check_counter = self.check_counter
             handler.store.counter = self.check_counter
             self._handlers[variable] = handler
+        # The handler map is fixed from here on; iterate this instead of
+        # re-sorting the keys on every dispatch (lint rule H3).
+        self._ordered_variables: Tuple[VariableId, ...] = tuple(
+            sorted(self._handlers)
+        )
 
     # -- simulator protocol -----------------------------------------------------
 
     def initialize(self) -> List[Outgoing]:
         external: List[Outgoing] = []
-        for variable in sorted(self._handlers):
+        for variable in self._ordered_variables:
             outgoing = self._handlers[variable].initialize()
             external.extend(self._dispatch(variable, outgoing))
         external.extend(self._run_intra_rounds())
@@ -117,7 +131,7 @@ class MultiVariableAwcAgent(SimulatedAgent):
 
     def rebind_store(self, store_class: Type[NogoodStore]) -> None:
         """Rebind every handler's store; all keep the shared check counter."""
-        for variable in sorted(self._handlers):
+        for variable in self._ordered_variables:
             self._handlers[variable].rebind_store(store_class)
 
     def attach_retention(
@@ -126,7 +140,7 @@ class MultiVariableAwcAgent(SimulatedAgent):
         interner: Optional["NogoodInterner"] = None,
     ) -> None:
         """Apply the retention axis per handler (one policy per store)."""
-        for variable in sorted(self._handlers):
+        for variable in self._ordered_variables:
             self._handlers[variable].attach_retention(
                 policy_factory, interner
             )

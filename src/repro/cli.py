@@ -750,11 +750,15 @@ def build_parser() -> argparse.ArgumentParser:
         "bench",
         help="smoke benchmarks: trial engine, event engine, lint "
         "analyzer, nogood-store kernel, interleaving verifier, "
-        "retention subsystem (writes BENCH_*.json)",
+        "retention subsystem, handler allocation churn (writes "
+        "BENCH_*.json)",
     )
     bench.add_argument(
         "--axis",
-        choices=("workers", "backend", "lint", "store", "verify", "retention"),
+        choices=(
+            "workers", "backend", "lint", "store", "verify", "retention",
+            "alloc",
+        ),
         default="workers",
         help="what to compare (see repro.experiments.bench)",
     )

@@ -34,7 +34,7 @@ class Nogood:
     problem has no solution (see :class:`~repro.core.exceptions.UnsolvableError`).
     """
 
-    __slots__ = ("_pairs", "_by_var", "_hash")
+    __slots__ = ("_pairs", "_by_var", "_variables", "_hash")
 
     def __init__(self, pairs: Iterable[Pair]) -> None:
         by_var: Dict[VariableId, Value] = {}
@@ -47,6 +47,7 @@ class Nogood:
             by_var[variable] = value
         self._by_var = by_var
         self._pairs: FrozenSet[Pair] = frozenset(by_var.items())
+        self._variables: FrozenSet[VariableId] = frozenset(by_var)
         self._hash = hash(self._pairs)
 
     # -- construction helpers ------------------------------------------------
@@ -70,8 +71,13 @@ class Nogood:
 
     @property
     def variables(self) -> FrozenSet[VariableId]:
-        """The variables this nogood mentions."""
-        return frozenset(self._by_var)
+        """The variables this nogood mentions.
+
+        Precomputed at construction: consultation paths read this on every
+        priority-key computation, and rebuilding the frozenset there was
+        measurable per-message garbage (lint rule H3).
+        """
+        return self._variables
 
     def value_of(self, variable: VariableId) -> Optional[Value]:
         """The value this nogood binds *variable* to, or None if absent."""

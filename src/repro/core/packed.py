@@ -203,6 +203,15 @@ class PackedView:
         )
 
 
+def _pair_order(pair: Tuple[VariableId, Value]) -> Tuple[VariableId, str]:
+    """Deterministic (variable id, value repr) order for nogood pairs.
+
+    Module-level (not a lambda at the ``sorted()`` call) so encoding a
+    nogood allocates no closure (lint rule H4).
+    """
+    return (pair[0], repr(pair[1]))
+
+
 def nogood_rest_bits(
     codec: PairCodec, nogood: Nogood, own_variable: VariableId
 ) -> Tuple[int, Tuple[int, ...]]:
@@ -215,7 +224,7 @@ def nogood_rest_bits(
     """
     rest_pairs = sorted(
         (pair for pair in nogood.pairs if pair[0] != own_variable),
-        key=lambda pair: (pair[0], repr(pair[1])),
+        key=_pair_order,
     )
     bits = tuple(codec.bit_of(pair) for pair in rest_pairs)
     mask = 0

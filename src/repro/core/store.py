@@ -45,7 +45,7 @@ from typing import (
 from .assignment import AgentView
 from .exceptions import ModelError
 from .nogood import Nogood
-from .priorities import OrderKey, nogood_priority_key, order_key
+from .priorities import TOP_KEY, OrderKey, order_key
 from .variables import Value, VariableId
 
 if TYPE_CHECKING:  # retention imports core at runtime, not vice versa
@@ -455,11 +455,30 @@ class NogoodStore:
         key = cache.keys.get(nogood)
         if key is None:
             self.key_cache_misses += 1
-            key = nogood_priority_key(
-                (view.priority_of(variable), variable)
-                for variable in nogood.variables
-                if variable != self.own_variable
-            )
+            # Scalar min loop over (priority, -variable) instead of
+            # delegating to ``nogood_priority_key``: the genexp frame and
+            # the per-variable input tuples were the store's single largest
+            # transient allocation (lint rule H1). The one tuple built here
+            # is the cached result itself, bit-identical to the helper's.
+            own_variable = self.own_variable
+            best_priority: Optional[int] = None
+            best_neg = 0
+            for variable in nogood.variables:
+                if variable == own_variable:
+                    continue
+                priority = view.priority_of(variable)
+                neg = -variable
+                if (
+                    best_priority is None
+                    or priority < best_priority
+                    or (priority == best_priority and neg < best_neg)
+                ):
+                    best_priority = priority
+                    best_neg = neg
+            if best_priority is None:
+                key = TOP_KEY
+            else:
+                key = (best_priority, best_neg)
             cache.keys[nogood] = key
         else:
             self.key_cache_hits += 1
@@ -520,6 +539,28 @@ class NogoodStore:
                 violated.append(nogood)
         return violated
 
+    def count_violated_higher(
+        self,
+        view: AgentView,
+        own_value: Value,
+        own_priority: int,
+    ) -> int:
+        """How many higher nogoods are violated with the owner at *own_value*.
+
+        Exactly :meth:`violated_higher` without materialising the list —
+        same scan, same per-higher-nogood check counting, same retention
+        touches — for the callers that only test the result's truthiness
+        (lint rule H1: the list was per-message garbage).
+        """
+        my_key = order_key(own_priority, self.own_variable)
+        count = 0
+        for nogood in self.for_value(own_value):
+            if self.priority_key_of(nogood, view) > my_key and self.is_violated(
+                nogood, view, own_value
+            ):
+                count += 1
+        return count
+
     def count_violated_lower(
         self,
         view: AgentView,
@@ -571,6 +612,30 @@ class NogoodStore:
             self.violated_higher(view, value, own_priority)
             for value in values
         ]
+
+    def count_violated_higher_batch(
+        self, view: AgentView, values: Sequence[Value], own_priority: int
+    ) -> List[int]:
+        """:meth:`count_violated_higher` for every candidate value, in order.
+
+        The list-of-lists shape of :meth:`violated_higher_batch` costs one
+        list object per candidate even when every entry is empty; callers
+        that only ask "is any higher nogood violated at this value?" get a
+        flat int list instead (lint rule H2). The owner's key is hoisted
+        out of the loop; counting is positionally identical to calling
+        :meth:`count_violated_higher` per value.
+        """
+        my_key = order_key(own_priority, self.own_variable)
+        results = []
+        for own_value in values:
+            count = 0
+            for nogood in self.for_value(own_value):
+                if self.priority_key_of(
+                    nogood, view
+                ) > my_key and self.is_violated(nogood, view, own_value):
+                    count += 1
+            results.append(count)
+        return results
 
     def count_violated_lower_batch(
         self, view: AgentView, values: Sequence[Value], own_priority: int

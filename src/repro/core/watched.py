@@ -41,6 +41,7 @@ does not apply.
 from __future__ import annotations
 
 from bisect import bisect_right
+from operator import attrgetter, itemgetter
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from .assignment import AgentView
@@ -49,6 +50,12 @@ from .packed import PackedView, PairCodec, nogood_rest_bits
 from .priorities import TOP_KEY, OrderKey, nogood_priority_key, order_key
 from .store import _EMPTY, CheckCounter, NogoodStore
 from .variables import Value, VariableId
+
+#: Sort/selection keys for (position, nogood) pairs and records;
+#: module-level so the consultation paths allocate no closures
+#: (lint rule H4).
+_position_of_pair = itemgetter(0)
+_position_of_record = attrgetter("position")
 
 #: Bucket key for nogoods that do not mention the owner's variable.
 _UNCONDITIONAL = object()
@@ -388,7 +395,7 @@ class WatchedNogoodStore(NogoodStore):
             (bucket_len + record.position, record.nogood)
             for record in violated_uncond
         )
-        ordered.sort(key=lambda item: item[0])
+        ordered.sort(key=_position_of_pair)
         self._touch_sorted(ordered)
 
     def _record_key(self, record: _Record) -> OrderKey:
@@ -492,7 +499,7 @@ class WatchedNogoodStore(NogoodStore):
             (bucket_len + record.position, record.nogood)
             for record in self._violated_uncond()
         )
-        ordered.sort(key=lambda item: item[0])
+        ordered.sort(key=_position_of_pair)
         if self._track_use:
             self._touch_sorted(ordered)
         return [nogood for _position, nogood in ordered]
@@ -506,14 +513,14 @@ class WatchedNogoodStore(NogoodStore):
         violated_bucket = self._violated_bucket(own_value)
         if violated_bucket:
             first_record = min(
-                violated_bucket, key=lambda record: record.position
+                violated_bucket, key=_position_of_record
             )
             first = first_record.position
         else:
             violated_uncond = self._violated_uncond()
             if violated_uncond:
                 first_record = min(
-                    violated_uncond, key=lambda record: record.position
+                    violated_uncond, key=_position_of_record
                 )
                 first = bucket_len + first_record.position
             else:
@@ -559,10 +566,59 @@ class WatchedNogoodStore(NogoodStore):
             for record in self._violated_uncond()
             if record.prio_key > my_key
         )
-        ordered.sort(key=lambda item: item[0])
+        ordered.sort(key=_position_of_pair)
         if self._track_use:
             self._touch_sorted(ordered)
         return [nogood for _position, nogood in ordered]
+
+    def count_violated_higher(
+        self,
+        view: AgentView,
+        own_value: Value,
+        own_priority: int,
+    ) -> int:
+        """How many higher nogoods are violated with the owner at *own_value*.
+
+        Counter bumps match :meth:`violated_higher` bump for bump (the same
+        bisect over the sorted key list); without a use-tracking retention
+        policy the count comes straight off the violated record sets with
+        no list built at all. With one, the records are ordered and touched
+        exactly as the returned list would have been.
+        """
+        if not self._adopt_and_sync(view):
+            return super().count_violated_higher(
+                view, own_value, own_priority
+            )
+        self._refresh_keys(view)
+        my_key = order_key(own_priority, self.own_variable)
+        keys = self._sorted_combined_keys(own_value)
+        higher = len(keys) - bisect_right(keys, my_key)
+        self.counter.bump(higher)
+        if higher == 0:
+            return 0
+        if not self._track_use:
+            count = 0
+            for record in self._violated_bucket(own_value):
+                if record.prio_key > my_key:
+                    count += 1
+            for record in self._violated_uncond():
+                if record.prio_key > my_key:
+                    count += 1
+            return count
+        higher_bucket = [
+            record
+            for record in self._violated_bucket(own_value)
+            if record.prio_key > my_key
+        ]
+        higher_uncond = [
+            record
+            for record in self._violated_uncond()
+            if record.prio_key > my_key
+        ]
+        self._touch_records(
+            higher_bucket, higher_uncond, self._bucket_len(own_value)
+        )
+        return len(higher_bucket) + len(higher_uncond)
 
     def count_violated_lower(
         self,
@@ -636,10 +692,58 @@ class WatchedNogoodStore(NogoodStore):
                 for record in violated_uncond
                 if record.prio_key > my_key
             )
-            ordered.sort(key=lambda item: item[0])
+            ordered.sort(key=_position_of_pair)
             if self._track_use:
                 self._touch_sorted(ordered)
             results.append([nogood for _position, nogood in ordered])
+        return results
+
+    def count_violated_higher_batch(
+        self,
+        view: AgentView,
+        values: Sequence[Value],
+        own_priority: int,
+    ) -> List[int]:
+        if not self._adopt_and_sync(view):
+            return super().count_violated_higher_batch(
+                view, values, own_priority
+            )
+        self._refresh_keys(view)
+        my_key = order_key(own_priority, self.own_variable)
+        violated_uncond = self._violated_uncond()
+        uncond_higher = 0
+        for record in violated_uncond:
+            if record.prio_key > my_key:
+                uncond_higher += 1
+        results: List[int] = []
+        for own_value in values:
+            keys = self._sorted_combined_keys(own_value)
+            higher = len(keys) - bisect_right(keys, my_key)
+            self.counter.bump(higher)
+            if higher == 0:
+                results.append(0)
+                continue
+            if not self._track_use:
+                count = uncond_higher
+                for record in self._violated_bucket(own_value):
+                    if record.prio_key > my_key:
+                        count += 1
+                results.append(count)
+                continue
+            bucket_len = self._bucket_len(own_value)
+            ordered = [
+                (record.position, record.nogood)
+                for record in self._violated_bucket(own_value)
+                if record.prio_key > my_key
+            ]
+            ordered.extend(
+                (bucket_len + record.position, record.nogood)
+                for record in violated_uncond
+                if record.prio_key > my_key
+            )
+            ordered.sort(key=_position_of_pair)
+            self._touch_sorted(ordered)
+            results.append(len(ordered))
         return results
 
     def count_violated_lower_batch(
@@ -717,7 +821,7 @@ class WatchedNogoodStore(NogoodStore):
                 (bucket_len + record.position, record.nogood)
                 for record in violated_uncond
             )
-            ordered.sort(key=lambda item: item[0])
+            ordered.sort(key=_position_of_pair)
             if self._track_use:
                 self._touch_sorted(ordered)
             results.append([nogood for _position, nogood in ordered])

@@ -6,7 +6,7 @@ times, the speedup, and nogood-check throughput. ``tools/bench_smoke.py``
 is a thin shim around this module; ``repro bench`` exposes it as a CLI
 subcommand.
 
-Five axes:
+Seven axes:
 
 * ``--axis workers`` (default) — sequential vs the parallel engine;
   writes ``BENCH_trial_engine.json``.
@@ -37,11 +37,19 @@ Five axes:
   solution re-verification and budget compliance. Writes
   ``BENCH_kb_memory.json``; ``--gate`` applies the 20% rule to the soak
   stream's checks/sec.
+* ``--axis alloc`` — per-message allocation churn of the handler hot
+  paths: replays the d3c/d3s cells with a ``tracemalloc`` probe around
+  every ``initialize``/``step`` call and reports transient bytes per 1k
+  delivered messages (the garbage the H1-H4 lint rules police; lower is
+  better). The instrumented replay must match the uninstrumented
+  reference bit-for-bit. Writes ``BENCH_alloc.json``; ``--gate`` applies
+  the 20% rule as a ceiling.
 
 Usage::
 
     PYTHONPATH=src python tools/bench_smoke.py
-        [--axis workers|backend|lint|store|verify|retention] [--jobs N]
+        [--axis workers|backend|lint|store|verify|retention|alloc]
+        [--jobs N]
         [--output PATH] [--gate [BASELINE]]
 
 The grid is deliberately small (quick-scale sizes, a few seconds per leg)
@@ -61,6 +69,7 @@ import os
 import platform
 import random
 import time
+import tracemalloc
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -74,6 +83,7 @@ from ..runtime.simulator import SynchronousSimulator
 from .paper import instances_for
 from .parallel import run_cell_parallel
 from .runner import (
+    CellResult,
     random_initial_assignment,
     run_cell,
     synchronous_network_factory,
@@ -747,8 +757,10 @@ def run_retention_bench(output: str, gate: Optional[str]) -> int:
     )
     print(f"wrote {output}")
     if gate is not None:
-        metric_path, label = GATE_METRICS["retention"]
-        return check_gate(gate, checks_per_second, metric_path, label)
+        metric_path, label, direction = GATE_METRICS["retention"]
+        return check_gate(
+            gate, checks_per_second, metric_path, label, direction
+        )
     return 0
 
 
@@ -807,24 +819,255 @@ def run_verify_bench(output: str, gate: Optional[str]) -> int:
         )
         return 1
     if gate is not None:
-        metric_path, label = GATE_METRICS["verify"]
-        return check_gate(gate, schedules_per_second, metric_path, label)
+        metric_path, label, direction = GATE_METRICS["verify"]
+        return check_gate(
+            gate, schedules_per_second, metric_path, label, direction
+        )
     return 0
 
 
-#: Where each gated axis keeps its throughput metric in its report.
-GATE_METRICS: Dict[str, Tuple[Tuple[str, ...], str]] = {
+# -- the alloc axis -------------------------------------------------------------
+
+#: The d3c/d3s cells replayed for per-message allocation accounting.
+ALLOC_GRID = GRID[:4]
+
+#: Pre-remediation reference for the alloc axis, measured on this tree
+#: immediately before the H1-H4 fixes (same grid, same seeds, same
+#: probe). Committed so ``BENCH_alloc.json`` can report the reduction the
+#: fixes bought without needing to check out the old tree.
+ALLOC_PRE_FIX_REFERENCE = {
+    "transient_bytes_per_1k_messages": 391277.0,
+    "python": "3.11.7",
+    "note": (
+        "measured before the H1-H4 remediation: hoisted hot-path lambdas, "
+        "cached domain/recipient/nogood-variable views, count-based store "
+        "consultation instead of throwaway violation lists, reusable "
+        "candidate scratch buffers, and a tuple-free priority-key miss path"
+    ),
+}
+
+
+class _AllocProbe:
+    """Accumulates transient allocation across instrumented handler calls.
+
+    ``wrap()`` shadows an agent's ``initialize``/``step`` bound methods
+    with closures that bracket the call in ``tracemalloc.reset_peak()`` /
+    ``get_traced_memory()``. ``peak - current`` after the call is the
+    memory that existed at some point during the handler but not at its
+    end — i.e. the per-message garbage H1-H4 police. Retained allocation
+    (nogoods entering the store) appears in both terms and cancels out.
+    """
+
+    def __init__(self) -> None:
+        self.handler_calls = 0
+        self.delivered_messages = 0
+        self.transient_bytes = 0
+
+    def wrap(self, agent) -> None:
+        probe = self
+        inner_initialize = agent.initialize
+        inner_step = agent.step
+
+        def initialize():
+            probe.handler_calls += 1
+            tracemalloc.reset_peak()
+            result = inner_initialize()
+            current, peak = tracemalloc.get_traced_memory()
+            probe.transient_bytes += peak - current
+            return result
+
+        def step(messages):
+            probe.handler_calls += 1
+            probe.delivered_messages += len(messages)
+            tracemalloc.reset_peak()
+            result = inner_step(messages)
+            current, peak = tracemalloc.get_traced_memory()
+            probe.transient_bytes += peak - current
+            return result
+
+        agent.initialize = initialize
+        agent.step = step
+
+
+def _run_alloc_trial(problem, spec, seed, probe: _AllocProbe):
+    """One instrumented trial; mirrors ``runner.run_trial`` (sync/dict)."""
+    metrics = MetricsCollector()
+    initial = random_initial_assignment(problem, seed)
+    agents = spec.build(problem, metrics, seed, initial)
+    for agent in agents:
+        probe.wrap(agent)
+    simulator = SynchronousSimulator(
+        problem,
+        agents,
+        network=synchronous_network_factory(seed),
+        max_cycles=MAX_CYCLES,
+        metrics=metrics,
+    )
+    return simulator.run()
+
+
+def run_alloc_bench(output: str, gate: Optional[str]) -> int:
+    """``--axis alloc``: allocation churn per 1k delivered messages.
+
+    Replays the d3c/d3s cells twice: once uninstrumented (the reference),
+    once with every handler call bracketed by a :class:`_AllocProbe`. The
+    probe is purely observational, so the instrumented leg must reproduce
+    the reference results bit-for-bit — a divergence means the probe (or
+    an allocation "fix") changed behaviour, and the run fails. The
+    headline metric is transient bytes per 1k delivered messages (lower
+    is better); the committed :data:`ALLOC_PRE_FIX_REFERENCE` turns it
+    into the reduction the H1-H4 remediation bought.
+    """
+    print(
+        f"bench_smoke: alloc axis — {len(ALLOC_GRID)} d3c/d3s cells, "
+        "tracemalloc transient probe around every handler call"
+    )
+    rows = []
+    mismatches = []
+    totals = {
+        "handler_calls": 0,
+        "delivered_messages": 0,
+        "transient_bytes": 0,
+    }
+    for family, n, num_instances, inits, label in ALLOC_GRID:
+        instances = instances_for(family, n, num_instances, MASTER_SEED)
+        spec = algorithm_by_name(label)
+        reference_cell = run_cell(
+            instances,
+            spec,
+            inits_per_instance=inits,
+            master_seed=MASTER_SEED,
+            n=n,
+            max_cycles=MAX_CYCLES,
+            workers=1,
+        )
+        probe = _AllocProbe()
+        trials = []
+        tracemalloc.start()
+        try:
+            for instance_index, _init_index, seed in trial_parameters(
+                num_instances, inits, MASTER_SEED
+            ):
+                trials.append(
+                    _run_alloc_trial(
+                        instances[instance_index], spec, seed, probe
+                    )
+                )
+        finally:
+            tracemalloc.stop()
+        instrumented_cell = CellResult(label=label, n=n, trials=trials)
+        if cell_measures(reference_cell) != cell_measures(instrumented_cell):
+            mismatches.append(f"{family}-n{n}-{label}")
+        per_1k = (
+            probe.transient_bytes * 1000.0 / probe.delivered_messages
+            if probe.delivered_messages
+            else 0.0
+        )
+        rows.append(
+            {
+                "family": family,
+                "n": n,
+                "algorithm": label,
+                "trials": len(trials),
+                "handler_calls": probe.handler_calls,
+                "delivered_messages": probe.delivered_messages,
+                "transient_bytes": probe.transient_bytes,
+                "transient_bytes_per_1k_messages": round(per_1k, 1),
+            }
+        )
+        for key in totals:
+            totals[key] += getattr(probe, key)
+    if mismatches:
+        print(
+            "FATAL: instrumented replay diverges from the reference run: "
+            f"{mismatches}"
+        )
+        return 1
+    bytes_per_1k = (
+        totals["transient_bytes"] * 1000.0 / totals["delivered_messages"]
+        if totals["delivered_messages"]
+        else 0.0
+    )
+    reference_per_1k = ALLOC_PRE_FIX_REFERENCE[
+        "transient_bytes_per_1k_messages"
+    ]
+    reduction = (
+        1.0 - bytes_per_1k / reference_per_1k if reference_per_1k else 0.0
+    )
+    report = {
+        "benchmark": "alloc_smoke",
+        "grid": [
+            {
+                "family": family,
+                "n": n,
+                "instances": instances,
+                "inits": inits,
+                "algorithm": label,
+            }
+            for family, n, instances, inits, label in ALLOC_GRID
+        ],
+        "max_cycles": MAX_CYCLES,
+        "master_seed": MASTER_SEED,
+        "machine": {
+            "cpu_count": os.cpu_count() or 1,
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+        },
+        "cells": rows,
+        "alloc": {
+            **totals,
+            "transient_bytes_per_1k_messages": round(bytes_per_1k, 1),
+        },
+        "pre_fix_reference": ALLOC_PRE_FIX_REFERENCE,
+        "reduction_vs_pre_fix": round(reduction, 3),
+        "results_identical": True,
+        "note": (
+            "transient bytes = tracemalloc peak minus surviving bytes per "
+            "handler call, summed over the replay and normalised per 1k "
+            "delivered messages; it counts per-message garbage (temporary "
+            "containers, sort copies, closures) while retained state "
+            "(nogoods entering the store) cancels out. Deterministic for "
+            "a fixed Python version; lower is better"
+        ),
+    }
+    Path(output).write_text(json.dumps(report, indent=2) + "\n")
+    print(
+        f"alloc: {totals['delivered_messages']:,} messages over "
+        f"{totals['handler_calls']:,} handler calls, "
+        f"{bytes_per_1k:,.0f} transient bytes/1k msgs "
+        f"({reduction:.1%} below the pre-fix reference)"
+    )
+    print(f"wrote {output}")
+    if gate is not None:
+        metric_path, metric_label, direction = GATE_METRICS["alloc"]
+        return check_gate(gate, bytes_per_1k, metric_path, metric_label,
+                          direction)
+    return 0
+
+
+#: Where each gated axis keeps its metric in its report, and which
+#: direction is "better" ("max": higher, gate is a floor; "min": lower,
+#: gate is a ceiling).
+GATE_METRICS: Dict[str, Tuple[Tuple[str, ...], str, str]] = {
     "store": (
         ("kernel_replay", "watched", "checks_per_second"),
         "watched-kernel checks/sec",
+        "max",
     ),
     "verify": (
         ("verify", "schedules_per_second"),
         "verify schedules/sec",
+        "max",
     ),
     "retention": (
         ("soak", "checks_per_second"),
         "retention soak checks/sec",
+        "max",
+    ),
+    "alloc": (
+        ("alloc", "transient_bytes_per_1k_messages"),
+        "transient bytes/1k messages",
+        "min",
     ),
 }
 
@@ -834,8 +1077,13 @@ def check_gate(
     measured: float,
     metric_path: Tuple[str, ...] = GATE_METRICS["store"][0],
     label: str = GATE_METRICS["store"][1],
+    direction: str = "max",
 ) -> int:
-    """Fail if *measured* dropped >20% below the committed baseline.
+    """Fail if *measured* regressed >20% against the committed baseline.
+
+    ``direction`` says which way is better: ``"max"`` metrics (throughput)
+    gate on a floor 20% below the baseline, ``"min"`` metrics (allocation
+    churn) on a ceiling 20% above it.
 
     A gate was explicitly requested, so a baseline that cannot be read is
     an error, never a silent skip — one line, no traceback.
@@ -860,12 +1108,19 @@ def check_gate(
             f"{'.'.join(metric_path)} metric"
         )
         return 1
-    floor = baseline_value * (1.0 - GATE_TOLERANCE)
+    if direction == "min":
+        bound = baseline_value * (1.0 + GATE_TOLERANCE)
+        bound_name = "ceiling"
+        regressed = measured > bound
+    else:
+        bound = baseline_value * (1.0 - GATE_TOLERANCE)
+        bound_name = "floor"
+        regressed = measured < bound
     print(
         f"gate: measured {measured:,.0f} vs baseline "
-        f"{baseline_value:,.0f} {label} (floor {floor:,.0f})"
+        f"{baseline_value:,.0f} {label} ({bound_name} {bound:,.0f})"
     )
-    if measured < floor:
+    if regressed:
         print(
             f"FATAL: {label} regressed more than "
             f"{GATE_TOLERANCE:.0%} vs {baseline_path}"
@@ -878,14 +1133,18 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--axis",
-        choices=("workers", "backend", "lint", "store", "verify", "retention"),
+        choices=(
+            "workers", "backend", "lint", "store", "verify", "retention",
+            "alloc",
+        ),
         default="workers",
         help="what to compare: sequential vs parallel execution, the "
         "sync vs event-driven engines (both legs sequential), two "
         "passes of the whole-program lint analyzer, the dict vs "
         "watched/bitset nogood-store backends, the interleaving "
-        "verifier's schedule-exploration throughput, or the nogood "
-        "retention subsystem's parity and soak stream",
+        "verifier's schedule-exploration throughput, the nogood "
+        "retention subsystem's parity and soak stream, or the "
+        "per-message allocation churn of the handler hot paths",
     )
     parser.add_argument(
         "--jobs",
@@ -907,10 +1166,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         const="",
         default=None,
         metavar="BASELINE",
-        help="(--axis store/verify/retention) fail if the axis's "
-        "throughput metric drops more than 20%% below the BASELINE "
-        "report (default: the committed BENCH_store_kernel.json / "
-        "BENCH_verify.json / BENCH_kb_memory.json)",
+        help="(--axis store/verify/retention/alloc) fail if the axis's "
+        "metric regresses more than 20%% against the BASELINE report "
+        "(default: the committed BENCH_store_kernel.json / "
+        "BENCH_verify.json / BENCH_kb_memory.json / BENCH_alloc.json)",
     )
     args = parser.parse_args(argv)
     cores = os.cpu_count() or 1
@@ -934,6 +1193,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         if gate == "":
             gate = str(repo_root / "BENCH_verify.json")
         return run_verify_bench(output, gate)
+
+    if args.axis == "alloc":
+        output = args.output or str(repo_root / "BENCH_alloc.json")
+        gate = args.gate
+        if gate == "":
+            gate = str(repo_root / "BENCH_alloc.json")
+        return run_alloc_bench(output, gate)
 
     if args.axis == "retention":
         output = args.output or str(repo_root / "BENCH_kb_memory.json")

@@ -19,6 +19,15 @@ locally:
   present) guard it.
 * **Metric accounting** — every nogood consistency test is counted toward
   ``maxcck``. Rule M1 guards it (no uncounted predicates in agent code).
+* **Allocation discipline** — the per-message dispatch paths the watched
+  kernel made fast must not regrow Python-side garbage. Rules H1 (no
+  loop-local temporaries in hot loops), H2 (no per-dispatch constant-shape
+  containers), H3 (no repeated ``sorted()`` of maintained state) and H4
+  (no closure allocation in hot dispatch) guard it, over a hot set derived
+  from the committed ``hotpaths.toml`` plus the call-edge closure of the
+  agent-handler and store-consultation surfaces (see
+  :mod:`repro.lint.hotpaths` and the escape analysis in
+  :mod:`repro.lint.alloc`).
 
 File-local rules work from a single AST; the whole-program rules share a
 :class:`ProjectGraph` (one parse per file, import resolution, subclass
@@ -44,6 +53,8 @@ from .dataflow import (
 from .trace_check import check_trace_file
 from .output import to_json, to_sarif
 from .cli import main
+from .hotpaths import HotConfig, HotSet, hot_set_for, load_hot_config
+from .alloc import AllocSite, FunctionAllocs, analyze_function
 
 __all__ = [
     "Finding",
@@ -62,4 +73,11 @@ __all__ = [
     "to_json",
     "to_sarif",
     "main",
+    "HotConfig",
+    "HotSet",
+    "hot_set_for",
+    "load_hot_config",
+    "AllocSite",
+    "FunctionAllocs",
+    "analyze_function",
 ]

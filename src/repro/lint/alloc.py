@@ -1,0 +1,640 @@
+"""Allocation dataflow: where garbage is born and whether it escapes.
+
+The companion analysis to :mod:`repro.lint.dataflow` (seed taint, RNG
+factories, send/mutation streams) and :mod:`repro.lint.effects` (handler
+read/write footprints): this pass looks at one function at a time and
+answers two questions the H rules need.
+
+1. **Classification** — every allocation site in the function, by kind:
+   list/set/dict/tuple displays, comprehensions and generator expressions,
+   copy-constructor calls (``list(...)``, ``set(...)``, ...), ``sorted()``
+   copies, dataclass constructions, closure creation (``lambda`` and
+   nested ``def``), and ``+=`` string concatenation inside loops.
+2. **Escape** — a fixpoint over alias, containment and store edges that
+   separates allocations whose object can outlive the call (returned,
+   yielded, written to an attribute/subscript, passed to a retaining call,
+   captured by a closure, appended into an escaping container) from
+   loop-local temporaries that die with the iteration — the hoistable,
+   reuse-a-scratch-buffer cases H1 reports.
+
+The analysis is name-based and deliberately conservative in the direction
+that avoids false findings: anything it cannot prove local counts as
+escaping. Calls are assumed to retain their arguments unless the callee is
+a known read-only consumer — the builtin reducers (``len``, ``sum``,
+``min``/``max``, ``any``/``all``), the copying constructors, and the store
+consultation surface (:data:`~repro.lint.rules.COUNTED_CHECKS`), which
+reads candidate buffers without keeping them.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from .graph import ModuleInfo, ProjectGraph
+from .rules import COUNTED_CHECKS
+
+# -- allocation kinds ----------------------------------------------------------
+
+LIST_DISPLAY = "list-display"
+SET_DISPLAY = "set-display"
+DICT_DISPLAY = "dict-display"
+TUPLE_DISPLAY = "tuple-display"
+COMPREHENSION = "comprehension"
+GENEXP = "genexp"
+COPY_CALL = "copy-call"
+SORTED_COPY = "sorted-copy"
+DATACLASS_CTOR = "dataclass"
+CLOSURE = "closure"
+STR_CONCAT = "str-concat"
+
+#: Kinds that build a container whose storage could be reused.
+CONTAINER_KINDS = frozenset(
+    {
+        LIST_DISPLAY,
+        SET_DISPLAY,
+        DICT_DISPLAY,
+        COMPREHENSION,
+        COPY_CALL,
+        SORTED_COPY,
+    }
+)
+
+#: Builtins that read their arguments without retaining them. ``min``/
+#: ``max`` over several containers alias their *result* to an argument;
+#: that corner (rare, and never a container rebuilt per iteration in this
+#: tree) is accepted as an approximation.
+NON_RETAINING_FUNCS = frozenset(
+    {
+        "len", "sum", "min", "max", "any", "all", "bool", "sorted",
+        "list", "tuple", "set", "frozenset", "dict", "enumerate", "zip",
+        "reversed", "iter", "next", "repr", "str", "int", "float",
+        "print", "isinstance", "range", "abs", "hash", "format", "id",
+    }
+)
+
+#: Copying constructors (allocate, but do not retain the argument).
+COPYING_FUNCS = frozenset({"list", "tuple", "set", "frozenset", "dict"})
+
+#: Methods that read (or mutate in place) without retaining arguments;
+#: the store consultation surface is exactly the batch/consult API the
+#: hot paths feed candidate buffers into.
+NON_RETAINING_METHODS = (
+    frozenset(
+        {
+            "sort", "clear", "count", "index", "copy", "get", "keys",
+            "values", "items", "remove", "discard", "pop", "popitem",
+            "union", "intersection", "difference", "symmetric_difference",
+            "issubset", "issuperset", "isdisjoint", "join", "split",
+            "startswith", "endswith", "format", "mentions", "value_of",
+            "priority_key_of", "for_value", "touch", "nogoods",
+        }
+    )
+    | COUNTED_CHECKS
+)
+
+#: Methods that store argument 0 into their receiver.
+_APPEND_ARG0 = frozenset({"append", "add", "appendleft", "extend", "update"})
+#: Methods that store argument 1 into their receiver.
+_APPEND_ARG1 = frozenset({"insert", "setdefault"})
+
+
+@dataclass(frozen=True)
+class LoopSpan:
+    """Statement-index extent of one loop body (header included)."""
+
+    node_id: int
+    start: int
+    end: int
+
+
+@dataclass
+class AllocSite:
+    """One allocation expression inside the analyzed function."""
+
+    node: ast.AST
+    kind: str
+    line: int
+    column: int
+    #: The plain local name the value is bound to, when the site is the
+    #: whole right-hand side of ``name = ...`` (None for nested/unbound).
+    name: Optional[str] = None
+    #: ids of enclosing loop nodes, outermost first (empty: straight-line).
+    loops: Tuple[int, ...] = ()
+    #: Index of the statement containing the site.
+    stmt_index: int = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        bound = f" name={self.name}" if self.name else ""
+        return f"AllocSite({self.kind}@{self.line}{bound})"
+
+
+@dataclass
+class FunctionAllocs:
+    """Sites plus the escape verdicts for one function."""
+
+    function: ast.AST
+    sites: List[AllocSite] = field(default_factory=list)
+    escaping: Set[str] = field(default_factory=set)
+    loop_spans: Dict[int, LoopSpan] = field(default_factory=dict)
+    #: name -> statement indices where the name is *read*.
+    loads: Dict[str, List[int]] = field(default_factory=dict)
+
+    def escapes(self, site: AllocSite) -> bool:
+        """Can the allocated object outlive the call? Unbound sites are
+        conservatively escaping (their flow is not tracked by name)."""
+        if site.name is None:
+            return True
+        return site.name in self.escaping
+
+    def iteration_local(self, site: AllocSite) -> bool:
+        """Rebuilt-per-iteration and dead by the iteration's end?
+
+        True when the site sits in a loop, its binding is fresh each
+        iteration (no read of the name textually *before* the binding
+        inside the loop, which would be a carry-over from the previous
+        iteration), and the name is never read after the loop ends.
+        """
+        if not site.loops or site.name is None:
+            return False
+        span = self.loop_spans.get(site.loops[-1])
+        if span is None:  # pragma: no cover - defensive
+            return False
+        for index in self.loads.get(site.name, ()):
+            if index > span.end:
+                return False  # read after the loop
+            if span.start <= index <= site.stmt_index:
+                return False  # carried over from the previous iteration
+        return True
+
+
+def analyze_function(
+    function: ast.AST,
+    module: Optional[ModuleInfo] = None,
+    graph: Optional[ProjectGraph] = None,
+) -> FunctionAllocs:
+    """Classify allocation sites and run the escape fixpoint for one
+    function/method definition node."""
+    analysis = FunctionAllocs(function=function)
+    walker = _Walker(analysis, module, graph)
+    walker.run(function)
+    _escape_fixpoint(analysis, walker)
+    return analysis
+
+
+def analyses_for(
+    graph: ProjectGraph, function: ast.AST, module: ModuleInfo
+) -> FunctionAllocs:
+    """Graph-memoised :func:`analyze_function` (one entry per function)."""
+    cache: Dict[int, FunctionAllocs] = graph.cached(  # type: ignore[assignment]
+        "alloc-analyses", dict
+    )
+    key = id(function)
+    if key not in cache:
+        cache[key] = analyze_function(function, module, graph)
+    return cache[key]
+
+
+# -- the walk ------------------------------------------------------------------
+
+
+class _Walker:
+    """Single pass over a function body collecting sites and escape facts."""
+
+    def __init__(
+        self,
+        analysis: FunctionAllocs,
+        module: Optional[ModuleInfo],
+        graph: Optional[ProjectGraph],
+    ) -> None:
+        self.analysis = analysis
+        self.module = module
+        self.graph = graph
+        self.counter = 0
+        self.loop_stack: List[int] = []
+        #: symmetric alias pairs (a = b)
+        self.aliases: List[Tuple[str, str]] = []
+        #: (element name, container name): element escapes iff container does
+        self.contained: List[Tuple[str, str]] = []
+
+    # entry point
+
+    def run(self, function: ast.AST) -> None:
+        body = getattr(function, "body", [])
+        self._statements(body)
+
+    # statements
+
+    def _statements(self, body: Sequence[ast.stmt]) -> None:
+        for stmt in body:
+            self._statement(stmt)
+
+    def _statement(self, stmt: ast.stmt) -> None:
+        self.counter += 1
+        index = self.counter
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            self._expr(stmt.iter, index)
+            start = index
+            self.loop_stack.append(id(stmt))
+            self._statements(stmt.body)
+            self.loop_stack.pop()
+            self.analysis.loop_spans[id(stmt)] = LoopSpan(
+                id(stmt), start, self.counter
+            )
+            self._statements(stmt.orelse)
+        elif isinstance(stmt, ast.While):
+            self._expr(stmt.test, index)
+            start = index
+            self.loop_stack.append(id(stmt))
+            self._statements(stmt.body)
+            self.loop_stack.pop()
+            self.analysis.loop_spans[id(stmt)] = LoopSpan(
+                id(stmt), start, self.counter
+            )
+            self._statements(stmt.orelse)
+        elif isinstance(stmt, ast.If):
+            self._expr(stmt.test, index)
+            self._statements(stmt.body)
+            self._statements(stmt.orelse)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                self._expr(item.context_expr, index)
+            self._statements(stmt.body)
+        elif isinstance(stmt, ast.Try):
+            self._statements(stmt.body)
+            for handler in stmt.handlers:
+                self._statements(handler.body)
+            self._statements(stmt.orelse)
+            self._statements(stmt.finalbody)
+        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            self._closure_site(stmt, index)
+        elif isinstance(stmt, ast.Assign):
+            self._assign(stmt, index)
+        elif isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                target = (
+                    stmt.target.id
+                    if isinstance(stmt.target, ast.Name)
+                    else None
+                )
+                self._bind(stmt.target, stmt.value, index, bound_name=target)
+        elif isinstance(stmt, ast.AugAssign):
+            self._aug_assign(stmt, index)
+        elif isinstance(stmt, (ast.Return, ast.Expr)):
+            value = stmt.value
+            if isinstance(stmt, ast.Return) and value is not None:
+                self.analysis.escaping |= _escaping_names_in(value)
+            if value is not None:
+                self._expr(value, index)
+        elif isinstance(stmt, ast.Raise):
+            if stmt.exc is not None:
+                self.analysis.escaping |= _escaping_names_in(stmt.exc)
+                self._expr(stmt.exc, index)
+        elif isinstance(stmt, (ast.Global, ast.Nonlocal)):
+            self.analysis.escaping.update(stmt.names)
+        elif isinstance(stmt, ast.Assert):
+            self._expr(stmt.test, index)
+        elif isinstance(stmt, ast.Delete):
+            pass
+        else:  # Pass, Break, Continue, Import, ...
+            for value in ast.iter_child_nodes(stmt):
+                if isinstance(value, ast.expr):
+                    self._expr(value, index)
+
+    def _assign(self, stmt: ast.Assign, index: int) -> None:
+        single_name = (
+            stmt.targets[0].id
+            if len(stmt.targets) == 1
+            and isinstance(stmt.targets[0], ast.Name)
+            else None
+        )
+        for target in stmt.targets:
+            self._bind(target, stmt.value, index, bound_name=single_name)
+
+    def _bind(
+        self,
+        target: ast.expr,
+        value: ast.expr,
+        index: int,
+        bound_name: Optional[str],
+    ) -> None:
+        if isinstance(target, (ast.Attribute, ast.Subscript)):
+            # Stored into an object or container: the value escapes.
+            self.analysis.escaping |= _escaping_names_in(value)
+            self._expr(value, index)
+            self._expr(target, index, store_target=True)
+            return
+        if isinstance(target, (ast.Tuple, ast.List)):
+            # Unpacking: pair names positionally when shapes line up,
+            # otherwise treat every value name as escaping (conservative).
+            if isinstance(value, (ast.Tuple, ast.List)) and len(
+                target.elts
+            ) == len(value.elts):
+                for t, v in zip(target.elts, value.elts):
+                    self._bind(t, v, index, bound_name=None)
+                return
+            self._expr(value, index)
+            return
+        if isinstance(target, ast.Name) and isinstance(value, ast.Name):
+            self.aliases.append((target.id, value.id))
+            self._load(value.id, index)
+            return
+        if isinstance(target, ast.Name) and isinstance(value, ast.IfExp):
+            for branch in (value.body, value.orelse):
+                if isinstance(branch, ast.Name):
+                    self.aliases.append((target.id, branch.id))
+            self._expr(value, index)
+            return
+        # name = <expression>: classify the RHS as a (possibly bound) site.
+        self._expr(value, index, bound_name=bound_name)
+        if isinstance(target, ast.Name):
+            # Elements placed into a fresh container escape iff the
+            # container itself does.
+            if isinstance(value, (ast.List, ast.Tuple, ast.Set)):
+                for element in value.elts:
+                    for name in _escaping_names_in(element):
+                        self.contained.append((name, target.id))
+            elif isinstance(value, ast.Dict):
+                for element in list(value.keys) + list(value.values):
+                    if element is None:
+                        continue
+                    for name in _escaping_names_in(element):
+                        self.contained.append((name, target.id))
+
+    def _aug_assign(self, stmt: ast.AugAssign, index: int) -> None:
+        target = stmt.target
+        if isinstance(target, (ast.Attribute, ast.Subscript)):
+            self.analysis.escaping |= _escaping_names_in(stmt.value)
+        elif isinstance(target, ast.Name):
+            # acc += items folds items into acc.
+            for name in _escaping_names_in(stmt.value):
+                self.contained.append((name, target.id))
+            self._load(target.id, index)
+            if (
+                self.loop_stack
+                and isinstance(stmt.op, ast.Add)
+                and _is_stringish(stmt.value)
+            ):
+                self._site(stmt, STR_CONCAT, index, name=target.id)
+        self._expr(stmt.value, index)
+
+    # expressions
+
+    def _expr(
+        self,
+        node: ast.expr,
+        index: int,
+        bound_name: Optional[str] = None,
+        store_target: bool = False,
+    ) -> None:
+        """Walk one expression tree: record loads, allocation sites and
+        call-argument escapes. *bound_name* names the outermost node only."""
+        if isinstance(node, ast.Name):
+            if not store_target:
+                self._load(node.id, index)
+            return
+        if isinstance(node, ast.Lambda):
+            self._closure_site(node, index)
+            return
+        if isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp)):
+            self._site(node, COMPREHENSION, index, name=bound_name)
+            self._comprehension_internals(node, index)
+            return
+        if isinstance(node, ast.GeneratorExp):
+            self._site(node, GENEXP, index, name=bound_name)
+            self._comprehension_internals(node, index)
+            return
+        if isinstance(node, ast.List):
+            if node.elts:
+                self._site(node, LIST_DISPLAY, index, name=bound_name)
+        elif isinstance(node, ast.Set):
+            self._site(node, SET_DISPLAY, index, name=bound_name)
+        elif isinstance(node, ast.Dict):
+            if node.keys:
+                self._site(node, DICT_DISPLAY, index, name=bound_name)
+        elif isinstance(node, ast.Tuple) and not store_target:
+            if node.elts and not all(
+                isinstance(e, ast.Constant) for e in node.elts
+            ):
+                self._site(node, TUPLE_DISPLAY, index, name=bound_name)
+        elif isinstance(node, ast.Call):
+            self._call(node, index, bound_name=bound_name)
+            return
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.expr):
+                self._expr(child, index)
+            elif isinstance(child, ast.comprehension):  # pragma: no cover
+                self._expr(child.iter, index)
+
+    def _comprehension_internals(self, node: ast.expr, index: int) -> None:
+        for generator in node.generators:  # type: ignore[attr-defined]
+            self._expr(generator.iter, index)
+            for condition in generator.ifs:
+                self._expr(condition, index)
+        for attr in ("elt", "key", "value"):
+            inner = getattr(node, attr, None)
+            if inner is not None:
+                self._expr(inner, index)
+
+    def _call(
+        self, node: ast.Call, index: int, bound_name: Optional[str]
+    ) -> None:
+        func = node.func
+        retaining = True
+        if isinstance(func, ast.Name):
+            if func.id == "sorted":
+                self._site(node, SORTED_COPY, index, name=bound_name)
+                retaining = False
+            elif func.id in COPYING_FUNCS:
+                if node.args or node.keywords:
+                    self._site(node, COPY_CALL, index, name=bound_name)
+                retaining = False
+            elif func.id in NON_RETAINING_FUNCS:
+                retaining = False
+            elif self._is_dataclass_ctor(func.id):
+                self._site(node, DATACLASS_CTOR, index, name=bound_name)
+                retaining = True  # the instance holds its field arguments
+        elif isinstance(func, ast.Attribute):
+            self._expr(func.value, index)
+            if func.attr in _APPEND_ARG0 or func.attr in _APPEND_ARG1:
+                position = 0 if func.attr in _APPEND_ARG0 else 1
+                if len(node.args) > position:
+                    stored = _escaping_names_in(node.args[position])
+                    receiver = func.value
+                    if isinstance(receiver, ast.Name):
+                        for name in stored:
+                            self.contained.append((name, receiver.id))
+                    else:
+                        # appended into an attribute/subscript container:
+                        # reachable beyond the call.
+                        self.analysis.escaping |= stored
+                retaining = False
+            elif func.attr in NON_RETAINING_METHODS:
+                retaining = False
+        if retaining:
+            for argument in list(node.args) + [
+                keyword.value for keyword in node.keywords
+            ]:
+                self.analysis.escaping |= _escaping_names_in(argument)
+        for argument in node.args:
+            self._expr(argument, index)
+        for keyword in node.keywords:
+            self._expr(keyword.value, index)
+
+    def _is_dataclass_ctor(self, name: str) -> bool:
+        if self.module is None or self.graph is None:
+            return False
+        cls = self.graph.resolve_class(self.module, name)
+        return cls is not None and cls.is_dataclass
+
+    # bookkeeping
+
+    def _load(self, name: str, index: int) -> None:
+        self.analysis.loads.setdefault(name, []).append(index)
+
+    def _site(
+        self,
+        node: ast.AST,
+        kind: str,
+        index: int,
+        name: Optional[str] = None,
+    ) -> None:
+        self.analysis.sites.append(
+            AllocSite(
+                node=node,
+                kind=kind,
+                line=getattr(node, "lineno", 0),
+                column=getattr(node, "col_offset", 0),
+                name=name,
+                loops=tuple(self.loop_stack),
+                stmt_index=index,
+            )
+        )
+
+    def _closure_site(self, node: ast.AST, index: int) -> None:
+        self._site(node, CLOSURE, index)
+        # Free names used inside the closure may outlive the call.
+        params = set()
+        args = getattr(node, "args", None)
+        if args is not None:
+            params = {
+                a.arg
+                for a in (
+                    list(args.posonlyargs)
+                    + list(args.args)
+                    + list(args.kwonlyargs)
+                )
+            }
+            if args.vararg:
+                params.add(args.vararg.arg)
+            if args.kwarg:
+                params.add(args.kwarg.arg)
+        body = getattr(node, "body", None)
+        body_nodes = body if isinstance(body, list) else [body]
+        for part in body_nodes:
+            for inner in ast.walk(part):
+                if (
+                    isinstance(inner, ast.Name)
+                    and isinstance(inner.ctx, ast.Load)
+                    and inner.id not in params
+                ):
+                    self.analysis.escaping.add(inner.id)
+
+
+def _escape_fixpoint(analysis: FunctionAllocs, walker: _Walker) -> None:
+    """Propagate escape through alias (symmetric) and containment edges."""
+    escaping = analysis.escaping
+    changed = True
+    while changed:
+        changed = False
+        for left, right in walker.aliases:
+            if left in escaping and right not in escaping:
+                escaping.add(right)
+                changed = True
+            elif right in escaping and left not in escaping:
+                escaping.add(left)
+                changed = True
+        for element, container in walker.contained:
+            if container in escaping and element not in escaping:
+                escaping.add(element)
+                changed = True
+
+
+def _escaping_names_in(node: ast.expr) -> Set[str]:
+    """Names whose *object* flows out through expression *node*.
+
+    ``return buf`` exposes ``buf``; ``return len(buf)`` does not — calls
+    contribute nothing here because call-argument retention is judged at
+    the call site itself by :meth:`_Walker._call`.
+    """
+    if isinstance(node, ast.Name):
+        return {node.id}
+    if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+        names: Set[str] = set()
+        for element in node.elts:
+            names |= _escaping_names_in(element)
+        return names
+    if isinstance(node, ast.Dict):
+        names = set()
+        for element in list(node.keys) + list(node.values):
+            if element is not None:
+                names |= _escaping_names_in(element)
+        return names
+    if isinstance(node, ast.IfExp):
+        return _escaping_names_in(node.body) | _escaping_names_in(node.orelse)
+    if isinstance(node, ast.BinOp):
+        # ``return left + right`` (list/tuple concatenation) copies both
+        # operands' contents into the result; treating the operands as
+        # escaping keeps their contained elements escaping too.
+        return _escaping_names_in(node.left) | _escaping_names_in(node.right)
+    if isinstance(node, ast.Starred):
+        return _escaping_names_in(node.value)
+    if isinstance(node, ast.Await):
+        return _escaping_names_in(node.value)
+    return set()
+
+
+def _is_stringish(node: ast.expr) -> bool:
+    if isinstance(node, ast.Constant):
+        return isinstance(node.value, str)
+    if isinstance(node, ast.JoinedStr):
+        return True
+    if isinstance(node, ast.Call):
+        func = node.func
+        return isinstance(func, ast.Name) and func.id in ("str", "repr")
+    if isinstance(node, ast.BinOp):
+        return _is_stringish(node.left) or _is_stringish(node.right)
+    return False
+
+
+def sites_of_kind(
+    analysis: FunctionAllocs, kinds: Iterable[str]
+) -> List[AllocSite]:
+    """Convenience filter used by rules and tests."""
+    wanted = frozenset(kinds)
+    return [site for site in analysis.sites if site.kind in wanted]
+
+
+__all__ = [
+    "AllocSite",
+    "FunctionAllocs",
+    "LoopSpan",
+    "CONTAINER_KINDS",
+    "NON_RETAINING_FUNCS",
+    "NON_RETAINING_METHODS",
+    "analyze_function",
+    "analyses_for",
+    "sites_of_kind",
+    "LIST_DISPLAY",
+    "SET_DISPLAY",
+    "DICT_DISPLAY",
+    "TUPLE_DISPLAY",
+    "COMPREHENSION",
+    "GENEXP",
+    "COPY_CALL",
+    "SORTED_COPY",
+    "DATACLASS_CTOR",
+    "CLOSURE",
+    "STR_CONCAT",
+]

@@ -16,11 +16,13 @@ from typing import List, Optional
 from .engine import (
     BASELINE_FILENAME,
     DEFAULT_EXCLUDES,
+    baseline_key,
     format_baseline,
     lint_paths,
     load_baseline,
 )
 from .catalogue import ALL_RULES
+from .explain import EXPLANATIONS, explain_rule
 from .output import to_json, to_sarif_text
 from .trace_check import check_trace_file
 
@@ -31,8 +33,10 @@ def build_parser() -> argparse.ArgumentParser:
         description=(
             "Whole-program invariant checker: determinism (D1-D4), agent "
             "isolation (P1/P2), protocol conformance (A1/A2), metric "
-            "accounting (M1), plus trace cross-validation "
-            "(--check-trace). See CONTRIBUTING.md for the rule catalogue."
+            "accounting (M1), reordering safety (R1-R3), hot-path "
+            "allocation discipline (H1-H4), plus trace cross-validation "
+            "(--check-trace). See CONTRIBUTING.md for the rule catalogue, "
+            "or --explain RULE for one entry with examples."
         ),
     )
     parser.add_argument(
@@ -83,6 +87,24 @@ def build_parser() -> argparse.ArgumentParser:
         "--list-rules", action="store_true", help="print the rule catalogue"
     )
     parser.add_argument(
+        "--explain",
+        default=None,
+        metavar="RULE",
+        help=(
+            "print the catalogue entry for one rule id (rationale plus a "
+            "minimal bad/good example) and exit"
+        ),
+    )
+    parser.add_argument(
+        "--check-baseline-shrink",
+        action="store_true",
+        help=(
+            "fail (exit 1) if the current tree would require NEW baseline "
+            "entries — the committed baseline may only shrink; stale "
+            "entries are reported as removable"
+        ),
+    )
+    parser.add_argument(
         "--check-trace",
         default=None,
         metavar="JSONL",
@@ -128,6 +150,18 @@ def main(argv: Optional[List[str]] = None) -> int:
             "itself a finding."
         )
         return 0
+    if args.explain is not None:
+        text = explain_rule(args.explain)
+        if text is None:
+            known = ", ".join(sorted(EXPLANATIONS))
+            print(
+                f"repro-lint: unknown rule {args.explain!r} "
+                f"(known: {known})",
+                file=sys.stderr,
+            )
+            return 2
+        print(text)
+        return 0
 
     baseline_path = args.baseline
     if baseline_path is None and os.path.exists(BASELINE_FILENAME):
@@ -145,6 +179,31 @@ def main(argv: Optional[List[str]] = None) -> int:
             f"wrote {len(findings)} finding(s) to {target}; they will be "
             "ignored until removed from the baseline"
         )
+        return 0
+
+    if args.check_baseline_shrink:
+        findings = lint_paths(args.paths, baseline=None, excludes=excludes)
+        current = {baseline_key(finding) for finding in findings}
+        new = sorted(current - baseline)
+        stale = sorted(baseline - current)
+        for entry in new:
+            print(f"NEW    {entry}")
+        for entry in stale:
+            print(f"STALE  {entry}")
+        if new:
+            print(
+                f"\nrepro-lint: {len(new)} finding(s) missing from the "
+                "baseline. The baseline only shrinks — fix the code or "
+                "add a justified '# repro-lint: disable=' comment."
+            )
+            return 1
+        if stale:
+            print(
+                f"\nrepro-lint: baseline holds, {len(stale)} stale "
+                "entr(y/ies) can be removed."
+            )
+        else:
+            print("repro-lint: baseline holds (no growth).")
         return 0
 
     findings = lint_paths(args.paths, baseline=baseline, excludes=excludes)

@@ -52,9 +52,10 @@ READ_ONLY_METHODS = frozenset(
     {
         # store consultation (every counted check, single and batch)
         "is_violated", "violated", "is_consistent", "violated_higher",
-        "count_violated", "count_violated_lower", "violated_batch",
-        "count_violated_batch", "violated_higher_batch",
-        "count_violated_lower_batch", "for_value", "nogoods",
+        "count_violated", "count_violated_higher", "count_violated_lower",
+        "violated_batch", "count_violated_batch", "violated_higher_batch",
+        "count_violated_higher_batch", "count_violated_lower_batch",
+        "for_value", "nogoods",
         "priority_key_of", "is_higher",
         # AgentView accessors
         "knows", "value_of", "priority_of", "entry", "items",

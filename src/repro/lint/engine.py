@@ -17,6 +17,7 @@ must be clean.
 from __future__ import annotations
 
 import ast
+import dataclasses
 import fnmatch
 import os
 from pathlib import Path
@@ -86,6 +87,7 @@ def lint_source(
                     message=f"file does not parse: {error.msg}",
                     hint="repro-lint needs valid Python to check invariants",
                     source="",
+                    anchor=scope or path.replace(os.sep, "/"),
                 )
             ]
     lines = source.splitlines()
@@ -114,6 +116,10 @@ def lint_source(
                 source=source_line,
             )
         )
+    anchor = scope if scope is not None else path.replace(os.sep, "/")
+    findings = [
+        dataclasses.replace(finding, anchor=anchor) for finding in findings
+    ]
     findings.sort()
     return findings
 
@@ -183,12 +189,20 @@ def lint_paths(
 
 
 def _baseline_key(finding: Finding) -> str:
-    # Fingerprint on the scope when the file is inside the package, so the
-    # baseline is stable whether the tree is linted as `src/` or
-    # `src/repro/` or from another working directory.
+    # The engine stamps every finding with a scope anchor (repro-relative
+    # path, or the pragma-declared module), so the baseline is stable
+    # whether the tree is linted as `src/` or `src/repro/` or from another
+    # working directory — and across file renames that keep the scope.
+    if finding.anchor:
+        return finding.fingerprint
     scope = scope_of(finding.path)
     anchor = scope if scope is not None else finding.path.replace(os.sep, "/")
     return f"{finding.rule}\t{anchor}\t{finding.source}"
+
+
+#: Public name — ``--check-baseline-shrink`` compares these fingerprints
+#: against the committed baseline to refuse any growth.
+baseline_key = _baseline_key
 
 
 def load_baseline(path: str) -> Set[str]:

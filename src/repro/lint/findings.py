@@ -23,6 +23,11 @@ class Finding:
     #: The stripped source line, used for baseline fingerprinting (line
     #: numbers drift; the offending text rarely does).
     source: str = field(default="", compare=False)
+    #: Fingerprint anchor: the repro-relative scope (or the pragma-declared
+    #: module) when known, set by the engine after rule checks. Falls back
+    #: to the path, so fingerprints survive file renames and re-rooted
+    #: checkouts whenever a stable scope exists.
+    anchor: str = field(default="", compare=False)
 
     def format(self, show_hint: bool = True) -> str:
         text = f"{self.path}:{self.line}:{self.column}: {self.rule} {self.message}"
@@ -32,5 +37,10 @@ class Finding:
 
     @property
     def fingerprint(self) -> str:
-        """Baseline identity: rule + path + offending text, line-number free."""
-        return f"{self.rule}\t{self.path}\t{self.source}"
+        """Baseline identity: rule + anchor + offending text.
+
+        Line-number free (lines drift) and scope-anchored (paths drift
+        with renames and lint roots); SARIF partialFingerprints and the
+        baseline file both use exactly this string.
+        """
+        return f"{self.rule}\t{self.anchor or self.path}\t{self.source}"

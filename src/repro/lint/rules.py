@@ -106,8 +106,9 @@ ORDER_INSENSITIVE_METHODS = frozenset(
 #: Methods on a store object that perform *counted* consistency checks.
 COUNTED_CHECKS = frozenset(
     {"is_violated", "violated_higher", "count_violated",
-     "count_violated_lower", "violated", "is_consistent",
-     "violated_batch", "count_violated_batch", "violated_higher_batch",
+     "count_violated_higher", "count_violated_lower", "violated",
+     "is_consistent", "violated_batch", "count_violated_batch",
+     "violated_higher_batch", "count_violated_higher_batch",
      "count_violated_lower_batch"}
 )
 

@@ -1,0 +1,218 @@
+"""The count-based consultation methods: parity across all three backends.
+
+``count_violated_higher``/``count_violated_higher_batch`` exist so the
+AWC hot path can ask "is any higher nogood violated?" without building a
+throwaway list — but they must be *exactly* the list methods minus the
+list: same counter bumps, same retention touches, same numbers, on the
+dict store, the linear ablation store, and the watched kernel alike.
+These tests drive randomized store states through both the list and the
+count form, on fresh twin stores so the shared-counter and use-touch
+streams can be compared bump for bump.
+"""
+
+import random
+
+from repro.core.assignment import AgentView
+from repro.core.nogood import Nogood
+from repro.core.store import LinearNogoodStore, NogoodStore
+from repro.core.watched import WatchedNogoodStore
+from repro.retention.policy import RetentionPolicy
+
+BACKENDS = (NogoodStore, LinearNogoodStore, WatchedNogoodStore)
+
+OWN = 0
+PEERS = (1, 2, 3)
+VALUES = (0, 1, 2)
+
+
+class RecordingPolicy(RetentionPolicy):
+    """Keeps everything; records the on_use touch stream."""
+
+    tracks_use = True
+
+    def __init__(self):
+        self.touches = []
+
+    def on_use(self, nogood):
+        self.touches.append(nogood)
+
+    def on_add(self, store, nogood, learned):
+        return ()
+
+
+def random_nogoods(rng, count=18):
+    nogoods = []
+    for _ in range(count):
+        pairs = [(OWN, rng.choice(VALUES))]
+        for peer in PEERS:
+            if rng.random() < 0.7:
+                pairs.append((peer, rng.choice(VALUES)))
+        nogoods.append(Nogood(pairs))
+    if rng.random() < 0.5:
+        nogoods.append(Nogood.of((OWN, rng.choice(VALUES))))  # unary
+    return nogoods
+
+
+def random_view(rng):
+    view = AgentView()
+    for peer in PEERS:
+        if rng.random() < 0.8:
+            view.update(peer, rng.choice(VALUES), rng.randrange(3))
+    return view
+
+
+def twin_stores(backend, nogoods, policy=False):
+    """Two identical stores of *backend*, optionally with use tracking."""
+    stores = []
+    for _ in range(2):
+        store = backend(OWN)
+        recorder = RecordingPolicy() if policy else None
+        if recorder is not None:
+            store.set_retention(recorder)
+        for nogood in nogoods:
+            store.add(nogood)
+        stores.append((store, recorder))
+    return stores
+
+
+class TestCountEqualsList:
+    def test_single_value_counts_and_bumps_match(self):
+        rng = random.Random(7)
+        for backend in BACKENDS:
+            for trial in range(20):
+                nogoods = random_nogoods(rng)
+                (a, _), (b, _) = twin_stores(backend, nogoods)
+                view_a, view_b = random_view(rng), random_view(rng)
+                # Same draws for both twins.
+                view_b = view_a
+                priority = rng.randrange(3)
+                value = rng.choice(VALUES)
+                listed = a.violated_higher(view_a, value, priority)
+                counted = b.count_violated_higher(view_b, value, priority)
+                assert counted == len(listed), (backend.__name__, trial)
+                assert a.counter.total == b.counter.total, backend.__name__
+
+    def test_batch_counts_and_bumps_match(self):
+        rng = random.Random(11)
+        for backend in BACKENDS:
+            for trial in range(20):
+                nogoods = random_nogoods(rng)
+                (a, _), (b, _) = twin_stores(backend, nogoods)
+                view = random_view(rng)
+                priority = rng.randrange(3)
+                listed = a.violated_higher_batch(view, VALUES, priority)
+                counted = b.count_violated_higher_batch(
+                    view, VALUES, priority
+                )
+                assert counted == [len(entry) for entry in listed]
+                assert a.counter.total == b.counter.total, backend.__name__
+
+    def test_batch_equals_singles_in_a_loop(self):
+        rng = random.Random(13)
+        for backend in BACKENDS:
+            nogoods = random_nogoods(rng)
+            (a, _), (b, _) = twin_stores(backend, nogoods)
+            view = random_view(rng)
+            batch = a.count_violated_higher_batch(view, VALUES, 1)
+            singles = [
+                b.count_violated_higher(view, value, 1) for value in VALUES
+            ]
+            assert batch == singles
+            assert a.counter.total == b.counter.total, backend.__name__
+
+
+class TestRetentionTouchParity:
+    def test_count_touches_exactly_like_the_list_form(self):
+        rng = random.Random(17)
+        for backend in BACKENDS:
+            for trial in range(10):
+                nogoods = random_nogoods(rng)
+                (a, rec_a), (b, rec_b) = twin_stores(
+                    backend, nogoods, policy=True
+                )
+                view = random_view(rng)
+                priority = rng.randrange(3)
+                value = rng.choice(VALUES)
+                a.violated_higher(view, value, priority)
+                b.count_violated_higher(view, value, priority)
+                assert rec_a.touches == rec_b.touches, backend.__name__
+                a.violated_higher_batch(view, VALUES, priority)
+                b.count_violated_higher_batch(view, VALUES, priority)
+                assert rec_a.touches == rec_b.touches, backend.__name__
+
+    def test_touch_order_matches_dict_reference_across_backends(self):
+        rng = random.Random(19)
+        nogoods = random_nogoods(rng)
+        view = random_view(rng)
+        streams = []
+        for backend in BACKENDS:
+            ((store, recorder),) = [
+                twin_stores(backend, nogoods, policy=True)[0]
+            ]
+            store.count_violated_higher_batch(view, VALUES, 1)
+            streams.append(recorder.touches)
+        assert streams[0] == streams[1] == streams[2]
+
+
+class TestCellBackendWorkersCross:
+    def test_every_backend_is_bit_identical_across_jobs(self):
+        """The full cross: store backend x worker count, one cell each.
+
+        The count-based consultation paths run inside real AWC trials
+        here; any divergence in counter bumps or candidate selection
+        would surface as a differing measure row.
+        """
+        from repro.algorithms.registry import awc
+        from repro.experiments.bench import cell_measures
+        from repro.experiments.runner import run_cell
+        from repro.problems.coloring import random_coloring_instance
+
+        instances = [
+            random_coloring_instance(10, seed=s).to_discsp() for s in (5, 6)
+        ]
+        measures = {
+            (store, workers): cell_measures(
+                run_cell(
+                    instances,
+                    awc("Rslv"),
+                    inits_per_instance=2,
+                    master_seed=9,
+                    n=10,
+                    workers=workers,
+                    store=store,
+                )
+            )
+            for store in ("dict", "linear", "watched")
+            for workers in (1, 2)
+        }
+        def trajectory(rows):
+            # (solved, cycles, assignment) per trial — the fields the
+            # search itself determines, independent of check counting.
+            return [(row[0], row[1], row[5]) for row in rows]
+
+        reference = measures[("dict", 1)]
+        for (store, workers), measure in measures.items():
+            if store == "linear":
+                # The ablation store runs the same search but counts the
+                # checks the index skips, so only trajectory fields match.
+                assert trajectory(measure) == trajectory(reference)
+            else:
+                assert measure == reference, (store, workers)
+
+
+class TestCrossBackendNumbers:
+    def test_all_backends_agree_on_higher_counts(self):
+        rng = random.Random(23)
+        for trial in range(20):
+            nogoods = random_nogoods(rng)
+            view = random_view(rng)
+            priority = rng.randrange(3)
+            results = []
+            for backend in BACKENDS:
+                store = backend(OWN)
+                for nogood in nogoods:
+                    store.add(nogood)
+                results.append(
+                    store.count_violated_higher_batch(view, VALUES, priority)
+                )
+            assert results[0] == results[1] == results[2], trial

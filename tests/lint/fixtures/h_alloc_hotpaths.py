@@ -1,0 +1,48 @@
+# repro-lint: module=algorithms/fixture_h_alloc.py
+"""Dirty H1-H4 fixture: per-message garbage on hot dispatch paths.
+
+The hot set is rooted at ``step`` (the ``SimulatedAgent`` subclass
+closure) and extends to ``_select`` through the self-call edge; ``cold``
+is unreachable from any root and must stay silent whatever it allocates.
+"""
+
+
+class SimulatedAgent:
+    """Stand-in base; the subclass closure works on the simple name."""
+
+
+def tail(pair):
+    return pair[-1]
+
+
+class ChurningAgent(SimulatedAgent):
+    def __init__(self):
+        self.domain = (0, 1, 2)
+        self.peers = [3, 1, 2]
+        self.seen = 0
+        self._sorted_peers = None
+
+    def step(self, messages):
+        outgoing = []
+        for message in messages:
+            batch = [item for item in message if item]  # dirty: H1
+            self.seen += len(batch)
+            kept = [item for item in message if item]  # clean: escapes
+            outgoing.append(kept)
+        values = list(self.domain)  # dirty: H2 (constant-attr copy)
+        weights = [1, 2, 3]  # dirty: H2 (constant display)
+        order = sorted(self.peers)  # dirty: H3
+        self._sorted_peers = sorted(self.peers)  # clean: cache fill
+        snapshot = list(self.peers)  # clean: not a constant attribute
+        self.seen += len(values) + len(weights)
+        self.seen += len(order) + len(snapshot)
+        return outgoing + self._select(messages)
+
+    def _select(self, pairs):
+        ranked = sorted(pairs, key=lambda item: item[0])  # dirty: H4
+        quiet = sorted(pairs, key=tail)  # clean: module-level key
+        scored = sorted(pairs, key=lambda item: -item[0])  # repro-lint: disable=H4 -- profiled: tie-break runs once per episode, not per message
+        return ranked + quiet + scored
+
+    def cold(self, pairs):
+        return sorted(self.peers, key=lambda item: pairs.index(item))

@@ -1,0 +1,11 @@
+# repro-lint: module=algorithms/fixture_sarif_fp.py
+"""Golden pair, half one: the 'before' revision of a dirty module."""
+import random
+
+
+def pick(options):
+    return random.choice(options)
+
+
+def roll():
+    return random.random()

@@ -69,6 +69,78 @@ class TestBaselineFlags:
         assert "M1\t" in text
 
 
+class TestBaselineShrink:
+    def test_holds_when_tree_matches_baseline(self, tmp_path, capsys):
+        baseline = str(tmp_path / "repro-lint.baseline")
+        lint_main(
+            [DIRTY, "--write-baseline", "--baseline", baseline] + NO_EXCLUDE
+        )
+        capsys.readouterr()
+        assert (
+            lint_main(
+                [DIRTY, "--check-baseline-shrink", "--baseline", baseline]
+                + NO_EXCLUDE
+            )
+            == 0
+        )
+        assert "baseline holds" in capsys.readouterr().out
+
+    def test_fails_on_growth(self, tmp_path, capsys):
+        baseline = str(tmp_path / "repro-lint.baseline")
+        Path(baseline).write_text("# empty on purpose\n")
+        assert (
+            lint_main(
+                [DIRTY, "--check-baseline-shrink", "--baseline", baseline]
+                + NO_EXCLUDE
+            )
+            == 1
+        )
+        out = capsys.readouterr().out
+        assert "NEW" in out and "only shrinks" in out
+
+    def test_stale_entries_reported_but_pass(self, tmp_path, capsys):
+        baseline = str(tmp_path / "repro-lint.baseline")
+        lint_main(
+            [DIRTY, "--write-baseline", "--baseline", baseline] + NO_EXCLUDE
+        )
+        capsys.readouterr()
+        # The clean fixture has none of the baselined findings, so every
+        # baseline entry is stale — still exit 0, shrinking is allowed.
+        assert (
+            lint_main(
+                [CLEAN, "--check-baseline-shrink", "--baseline", baseline]
+                + NO_EXCLUDE
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "STALE" in out and "can be removed" in out
+
+    def test_committed_baseline_holds_for_the_shipped_tree(self, capsys):
+        assert lint_main(["src/", "--check-baseline-shrink"]) == 0
+        assert "baseline holds" in capsys.readouterr().out
+
+
+class TestExplain:
+    def test_known_rule_prints_catalogue_entry(self, capsys):
+        assert lint_main(["--explain", "H1"]) == 0
+        out = capsys.readouterr().out
+        assert "H1" in out and "hot" in out.lower()
+        assert "Why:" in out and "Bad:" in out and "Good:" in out
+
+    def test_every_rule_id_has_an_explanation(self, capsys):
+        from repro.lint.catalogue import ALL_RULES
+
+        for rule in ALL_RULES:
+            assert lint_main(["--explain", rule.id]) == 0, rule.id
+        assert lint_main(["--explain", "X0"]) == 0
+        capsys.readouterr()
+
+    def test_unknown_rule_is_a_usage_error(self, capsys):
+        assert lint_main(["--explain", "Z9"]) == 2
+        assert "unknown rule" in capsys.readouterr().err
+
+
 class TestReproSubcommand:
     def test_repro_lint_clean(self, capsys):
         assert repro_main(["lint", CLEAN, "--exclude", "*__never__*"]) == 0

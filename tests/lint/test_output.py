@@ -57,6 +57,45 @@ class TestSarif:
         assert log["runs"][0]["tool"]["driver"]["rules"] == []
 
 
+class TestFingerprintStability:
+    """Rename + line drift must not churn partialFingerprints.
+
+    Code-scanning UIs key findings on the partial fingerprint to track
+    them across pushes; a fingerprint that embeds line numbers or on-disk
+    paths would resurrect every finding as 'new' after a refactor. The
+    golden pair is the same dirty module before and after a file rename,
+    an inserted helper, and the resulting line shift.
+    """
+
+    BEFORE = str(FIXTURES / "sarif_fp_before.py")
+    AFTER = str(FIXTURES / "sarif_fp_after.py")
+
+    def sarif_fingerprints(self, path):
+        log = to_sarif(lint_file(path))
+        return [
+            result["partialFingerprints"]["reproLintBaseline/v1"]
+            for result in log["runs"][0]["results"]
+        ]
+
+    def test_golden_pair_fingerprints_are_identical(self):
+        assert (
+            self.sarif_fingerprints(self.BEFORE)
+            == self.sarif_fingerprints(self.AFTER)
+        )
+
+    def test_the_pair_really_moved(self):
+        # Guard the guard: the findings sit on different lines in
+        # different files, so the identity cannot come from location.
+        before, after = lint_file(self.BEFORE), lint_file(self.AFTER)
+        assert [f.line for f in before] != [f.line for f in after]
+        assert before[0].path != after[0].path
+
+    def test_fingerprints_anchor_on_scope_not_path(self):
+        for finding in lint_file(self.BEFORE):
+            assert "algorithms/fixture_sarif_fp.py" in finding.fingerprint
+            assert "tests/lint" not in finding.fingerprint
+
+
 class TestJson:
     def test_round_trips_every_field(self):
         findings = lint_file(DIRTY)

@@ -54,28 +54,39 @@ class TestGenerator:
             target.write_text(before)
 
 
+def run_bench_smoke(tmp_path, *arguments, warning_filter=None):
+    """Run the shim in a subprocess; returns the CompletedProcess."""
+    import os
+    import subprocess
+
+    script = TOOL.parent / "bench_smoke.py"
+    env = dict(os.environ)
+    src = str(TOOL.parent.parent / "src")
+    env["PYTHONPATH"] = (
+        f"{src}{os.pathsep}{env['PYTHONPATH']}"
+        if env.get("PYTHONPATH")
+        else src
+    )
+    interpreter = [sys.executable]
+    if warning_filter is not None:
+        interpreter += ["-W", warning_filter]
+    return subprocess.run(
+        interpreter + [str(script), *arguments],
+        capture_output=True,
+        text=True,
+        timeout=600,
+        env=env,
+        cwd=tmp_path,
+    )
+
+
 class TestBenchSmoke:
     def test_bench_smoke_runs_and_verifies_identity(self, tmp_path):
         import json
-        import os
-        import subprocess
 
-        script = TOOL.parent / "bench_smoke.py"
         out = tmp_path / "bench.json"
-        env = dict(os.environ)
-        src = str(TOOL.parent.parent / "src")
-        env["PYTHONPATH"] = (
-            f"{src}{os.pathsep}{env['PYTHONPATH']}"
-            if env.get("PYTHONPATH")
-            else src
-        )
-        result = subprocess.run(
-            [sys.executable, str(script), "--jobs", "2", "--output", str(out)],
-            capture_output=True,
-            text=True,
-            timeout=600,
-            env=env,
-            cwd=tmp_path,
+        result = run_bench_smoke(
+            tmp_path, "--jobs", "2", "--output", str(out)
         )
         assert result.returncode == 0, result.stdout + result.stderr
         report = json.loads(out.read_text())
@@ -85,3 +96,31 @@ class TestBenchSmoke:
             report["parallel"]["totals"]["trials"]
         )
         assert len(report["sequential"]["cells"]) == len(report["grid"])
+
+
+class TestBenchSmokeShim:
+    """The deprecation shim itself: warning discipline and exit codes."""
+
+    def test_deprecation_warning_fires_exactly_once(self, tmp_path):
+        # --help exits before any benchmarking, so only the shim's own
+        # warning can appear; -W always prints every emission.
+        result = run_bench_smoke(
+            tmp_path, "--help", warning_filter="always"
+        )
+        assert result.returncode == 0, result.stderr
+        emissions = result.stderr.count("bench_smoke.py is deprecated")
+        assert emissions == 1, result.stderr
+
+    def test_warning_is_a_deprecation_warning(self, tmp_path):
+        # Escalating DeprecationWarning to an error must abort the shim
+        # before main() runs — proving the category, not just the text.
+        result = run_bench_smoke(
+            tmp_path, "--help", warning_filter="error::DeprecationWarning"
+        )
+        assert result.returncode != 0
+        assert "DeprecationWarning" in result.stderr
+
+    def test_usage_error_exit_code_is_forwarded(self, tmp_path):
+        result = run_bench_smoke(tmp_path, "--axis", "bogus")
+        assert result.returncode == 2, result.stdout + result.stderr
+        assert "invalid choice" in result.stderr
