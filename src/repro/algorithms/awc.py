@@ -70,7 +70,10 @@ class AwcAgent(SingleVariableAgent):
     ) -> None:
         super().__init__(agent_id, problem, rng, initial_value, variable)
         self.learning = learning
-        self.metrics = metrics
+        # The agent keeps only its own append-only log, never the shared
+        # collector: aliasing a collector that agents mutate would pin all
+        # agents to one process (lint rule S3).
+        self.generation_log = metrics.generation_log_for(agent_id)
         self.priority = 0
         self.view = AgentView()
         self.last_generated: Optional[Nogood] = None
@@ -103,7 +106,7 @@ class AwcAgent(SingleVariableAgent):
                 f"initial value {initial_value!r} is outside the domain "
                 f"of x{self.variable}"
             )
-        self.metrics = metrics
+        self.generation_log = metrics.generation_log_for(self.id)
         self.priority = 0
         self.view = AgentView()
         self.last_generated = None
@@ -209,7 +212,7 @@ class AwcAgent(SingleVariableAgent):
         if nogood is not None:
             # Every generation event is counted (Table 4's measure counts a
             # regeneration even when the rule below suppresses acting on it).
-            self.metrics.record_generation(self.id, nogood)
+            self.generation_log.record(nogood)
             if len(nogood) == 0:
                 self.fail_unsolvable("derived the empty nogood")
                 return []

@@ -201,9 +201,19 @@ def run_grid(workers: int, backend: str = "sync", store: str = "dict"):
     }
 
 
-def run_lint_bench(repo_root: Path, output: str) -> int:
-    """Two full-tree lint passes: determinism check + CI wall-time budget."""
+def run_lint_bench(
+    repo_root: Path, output: str, gate: Optional[str] = None
+) -> int:
+    """Two full-tree lint passes: determinism check + CI wall-time budget.
+
+    A third, selector-driven pass times the distribution-safety rules
+    (S1-S5) alone — the pass CI's ``s-rules`` leg runs via ``--only`` —
+    so the report carries its analysis time next to the full pass.
+    ``--gate`` applies the 20% regression rule to the full-pass wall time
+    (a "min" metric: lint getting slower fails the gate).
+    """
     from ..lint.engine import DEFAULT_EXCLUDES, iter_python_files, lint_paths
+    from ..lint.rules_dist import DIST_RULES
 
     paths = [str(repo_root / "src"), str(repo_root / "tests")]
     files = list(iter_python_files(paths, excludes=list(DEFAULT_EXCLUDES)))
@@ -222,6 +232,27 @@ def run_lint_bench(repo_root: Path, output: str) -> int:
     if findings_per_pass[0] != findings_per_pass[1]:
         print("FATAL: lint findings diverge between identical passes")
         return 1
+    started = time.perf_counter()
+    s_findings = lint_paths(
+        paths,
+        baseline=None,
+        excludes=list(DEFAULT_EXCLUDES),
+        rules=DIST_RULES,
+    )
+    s_rules_seconds = round(time.perf_counter() - started, 4)
+
+    # Dynamic half of S1: replay the pinned verify corpus, pickle-round-
+    # trip every payload actually sent, and check the observation against
+    # the static closure. Both failure modes are hard failures — a payload
+    # that does not pickle would only have surfaced on a remote shard.
+    from ..verify.boundary_audit import audit_corpus, static_payload_types
+
+    started = time.perf_counter()
+    audit = audit_corpus()
+    static_types = static_payload_types(str(repo_root / "src"))
+    unseen = sorted(audit.observed_types - static_types)
+    audit_seconds = round(time.perf_counter() - started, 4)
+
     slowest = max(passes)
     budget_met = slowest <= LINT_BUDGET_SECONDS
     report = {
@@ -234,8 +265,22 @@ def run_lint_bench(repo_root: Path, output: str) -> int:
             "python": platform.python_version(),
         },
         "pass_wall_seconds": passes,
+        "pass_wall_max_seconds": slowest,
         "files_per_second": round(len(files) / slowest) if slowest else 0,
         "findings": len(findings_per_pass[0]),
+        "s_rules": {
+            "rules": [rule.id for rule in DIST_RULES],
+            "pass_wall_seconds": s_rules_seconds,
+            "findings": len(s_findings),
+        },
+        "s1_cross_validation": {
+            "corpus_entries": audit.entries_run,
+            "payloads_round_tripped": audit.payloads_sent,
+            "round_trip_failures": len(audit.failures),
+            "observed_types": sorted(audit.observed_types),
+            "observed_not_in_static_closure": unseen,
+            "wall_seconds": audit_seconds,
+        },
         "budget_seconds": LINT_BUDGET_SECONDS,
         "budget_met": budget_met,
         "results_identical": True,
@@ -243,23 +288,50 @@ def run_lint_bench(repo_root: Path, output: str) -> int:
             "one whole-program pass parses every file once into a shared "
             "ProjectGraph, then runs the file-local and inter-procedural "
             "rules against it; the budget keeps full-tree linting viable "
-            "as a pre-commit hook and a CI gate"
+            "as a pre-commit hook and a CI gate; s_rules times the "
+            "distribution-safety subset CI runs separately via --only; "
+            "s1_cross_validation pickle-round-trips every payload the "
+            "pinned verify corpus sends and checks it against the static "
+            "S1 payload closure"
         ),
     }
     Path(output).write_text(json.dumps(report, indent=2) + "\n")
     print(
         f"lint: {len(files)} files, passes {passes[0]:.2f}s / "
-        f"{passes[1]:.2f}s, {report['findings']} finding(s), "
+        f"{passes[1]:.2f}s (S-rules alone {s_rules_seconds:.2f}s), "
+        f"{report['findings']} finding(s), "
         f"budget {LINT_BUDGET_SECONDS:.0f}s "
         f"{'met' if budget_met else 'EXCEEDED'}"
     )
+    print(
+        f"lint: S1 cross-validation round-tripped {audit.payloads_sent} "
+        f"payload(s) over {audit.entries_run} pinned entries, "
+        f"{len(audit.failures)} failure(s)"
+    )
     print(f"wrote {output}")
+    if audit.failures or unseen:
+        if audit.failures:
+            for failure in audit.failures:
+                print(
+                    f"FATAL: payload {failure.message_type} from corpus "
+                    f"entry '{failure.entry}' failed the pickle "
+                    f"round-trip: {failure.error}"
+                )
+        if unseen:
+            print(
+                "FATAL: runtime sent payload types outside the static S1 "
+                f"closure: {', '.join(unseen)}"
+            )
+        return 1
     if not budget_met:
         print(
             f"FATAL: full-tree lint took {slowest:.2f}s, over the "
             f"{LINT_BUDGET_SECONDS:.0f}s budget"
         )
         return 1
+    if gate is not None:
+        metric_path, label, direction = GATE_METRICS["lint"]
+        return check_gate(gate, slowest, metric_path, label, direction)
     return 0
 
 
@@ -1049,6 +1121,11 @@ def run_alloc_bench(output: str, gate: Optional[str]) -> int:
 #: direction is "better" ("max": higher, gate is a floor; "min": lower,
 #: gate is a ceiling).
 GATE_METRICS: Dict[str, Tuple[Tuple[str, ...], str, str]] = {
+    "lint": (
+        ("pass_wall_max_seconds",),
+        "full-tree lint wall seconds",
+        "min",
+    ),
     "store": (
         ("kernel_replay", "watched", "checks_per_second"),
         "watched-kernel checks/sec",
@@ -1166,10 +1243,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         const="",
         default=None,
         metavar="BASELINE",
-        help="(--axis store/verify/retention/alloc) fail if the axis's "
-        "metric regresses more than 20%% against the BASELINE report "
-        "(default: the committed BENCH_store_kernel.json / "
-        "BENCH_verify.json / BENCH_kb_memory.json / BENCH_alloc.json)",
+        help="(--axis lint/store/verify/retention/alloc) fail if the "
+        "axis's metric regresses more than 20%% against the BASELINE "
+        "report (default: the committed BENCH_lint.json / "
+        "BENCH_store_kernel.json / BENCH_verify.json / "
+        "BENCH_kb_memory.json / BENCH_alloc.json)",
     )
     args = parser.parse_args(argv)
     cores = os.cpu_count() or 1
@@ -1178,7 +1256,10 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.axis == "lint":
         output = args.output or str(repo_root / "BENCH_lint.json")
-        return run_lint_bench(repo_root, output)
+        gate = args.gate
+        if gate == "":
+            gate = str(repo_root / "BENCH_lint.json")
+        return run_lint_bench(repo_root, output, gate)
 
     if args.axis == "store":
         output = args.output or str(repo_root / "BENCH_store_kernel.json")

@@ -198,6 +198,82 @@ EXPLANATIONS: Dict[str, Explanation] = {
             "ranked = sorted(pairs, key=_BY_SCORE)"
         ),
     ),
+    "S1": Explanation(
+        rationale=(
+            "Everything that crosses a process boundary — message "
+            "payloads, pool tasks, worker init arguments — must pickle. "
+            "Lambdas, closures over locals, open file/socket handles and "
+            "live RNG objects do not (or, for RNGs, ship state that then "
+            "diverges), so they fail only at shard time, on a remote "
+            "host. Ship plain data and registry names; rebuild behaviour "
+            "on the receiving side."
+        ),
+        bad="pool.submit(lambda: solve(problem, rng))",
+        good=(
+            "pool.submit(solve_by_name, problem, algorithm_name, seed)\n"
+            "# worker rebuilds the spec and derives its own RNG stream"
+        ),
+    ),
+    "S2": Explanation(
+        rationale=(
+            "A blocking call (sleep, file or socket I/O, input) inside "
+            "message-handler dispatch stalls the whole shard: one worker "
+            "thread hosts many agents, and the simulated cycle cannot "
+            "close until every handler returns. Handlers compute and "
+            "return outgoing messages; I/O belongs to the harness."
+        ),
+        bad="def step(self, msgs):\n    time.sleep(0.01)  # throttle",
+        good="def step(self, msgs):\n    return outgoing  # harness paces",
+    ),
+    "S3": Explanation(
+        rationale=(
+            "A mutable object aliased by two agents (a shared collector, "
+            "list or dict that agent code mutates) only works because "
+            "the agents happen to share a process; on the sharded "
+            "runtime each process has its own copy and the writes "
+            "silently diverge. Give each agent private state and merge "
+            "at a harness-owned boundary."
+        ),
+        bad=(
+            "for aid in problem.agents:\n"
+            "    agents.append(Agent(aid, shared_metrics))  "
+            "# agents mutate it"
+        ),
+        good=(
+            "log = metrics.generation_log_for(aid)  # private per agent\n"
+            "# collector merges logs at cycle boundaries"
+        ),
+    ),
+    "S4": Explanation(
+        rationale=(
+            "id() values and unseeded hash() of str/bytes differ across "
+            "processes and hosts (address layout, PYTHONHASHSEED), so a "
+            "heap key, sort key or tie-break built from them makes "
+            "shards disagree on ordering — and the run unreproducible. "
+            "Order by stable domain keys: agent id, sequence number, "
+            "cycle."
+        ),
+        bad="heappush(queue, (priority, id(message), message))",
+        good="heappush(queue, (priority, seq, agent_id, message))",
+    ),
+    "S5": Explanation(
+        rationale=(
+            "An emitted message type with no handler is silently dropped "
+            "at the receiver — on one host that shows up in a trace, "
+            "across hosts it is just a hang (the APO completeness "
+            "analyses show such protocol holes are fatal). A handler for "
+            "a never-sent type is dead protocol surface that drifts out "
+            "of date. Emit and dispatch sets must match exactly."
+        ),
+        bad=(
+            "send(peer, ProbeMessage(...))  "
+            "# no isinstance(ProbeMessage) anywhere"
+        ),
+        good=(
+            "elif isinstance(message, ProbeMessage):\n"
+            "    outgoing.extend(self._on_probe(message))"
+        ),
+    ),
     "X0": Explanation(
         rationale=(
             "A '# repro-lint: disable=RULE' without a ' -- reason' "

@@ -29,18 +29,30 @@ from .explorer import (
     explore_entry,
     repo_commutativity_matrix,
 )
+from .boundary_audit import (
+    AuditReport,
+    PayloadRecorder,
+    audit_corpus,
+    audit_entry,
+    static_payload_types,
+)
 from .invariants import check_determinism, check_run
 
 __all__ = [
+    "AuditReport",
     "PINNED_CORPUS",
     "CorpusEntry",
     "EntryReport",
     "ExplorationReport",
+    "PayloadRecorder",
     "ScheduleRun",
+    "audit_corpus",
+    "audit_entry",
     "check_determinism",
     "check_run",
     "corpus_by_name",
     "explore_corpus",
     "explore_entry",
     "repo_commutativity_matrix",
+    "static_payload_types",
 ]

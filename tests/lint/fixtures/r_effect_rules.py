@@ -69,3 +69,13 @@ class LyingAgent(SimulatedAgent):  # noqa: F821
     def count_open(self, view):
         # Clean: consultation that only consults.
         return self.store.count_violated(view)
+
+
+class EmitterAgent(SimulatedAgent):  # noqa: F821
+    def step(self, messages):
+        # Balances the family protocol (S5): the handlers above absorb the
+        # message types this agent emits.
+        return [
+            (1, OkMessage(self.variable, self.value)),  # noqa: F821
+            (1, NogoodMessage(self.id, self.nogood)),  # noqa: F821
+        ]

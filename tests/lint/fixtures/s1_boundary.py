@@ -1,0 +1,46 @@
+# repro-lint: module=experiments/fixture_s1.py
+"""Dirty and clean serialization-closure cases for S1.
+
+Each boundary kind the analysis models appears once with an unpicklable
+value in its closure, next to a clean twin that ships plain data.
+"""
+import pickle
+import random
+import threading
+
+
+def ship_lambda(transport, problem):
+    task = lambda: problem  # noqa: E731 — the hazard under test
+    transport.send(0, task)  # S1: lambda crosses a send
+
+
+def ship_rng(pool, seed):
+    rng = random.Random(seed)
+    pool.submit(run_one, rng)  # S1: RNG stream crosses a submission
+
+
+def ship_handle(channel, path):
+    handle = open(path)
+    channel.send(1, handle)  # S1: open OS handle crosses a send
+
+
+def spawn_with_lock(Process, port):
+    lock = threading.Lock()
+    return Process(target=run_one, args=(port, lock))  # S1: lock in spawn args
+
+
+def freeze_closure(payload):
+    def reply():
+        return payload
+
+    return pickle.dumps(reply)  # S1: local closure handed to pickle
+
+
+def ship_clean(transport, pool, seed):
+    # Clean: plain data (labels, seeds, tuples) pickles everywhere.
+    transport.send(0, ("AWC+Rslv", seed))
+    pool.submit(run_one, seed)
+
+
+def run_one(value, extra=None):
+    return value, extra

@@ -1,0 +1,31 @@
+# repro-lint: module=algorithms/fixture_s2.py
+"""Dirty and clean blocking-call cases for S2."""
+import time
+
+
+class SleepyAgent(SimulatedAgent):  # noqa: F821 — name-based closure
+    def step(self, messages):
+        self._throttle()
+        return []
+
+    def _throttle(self):
+        # S2 (transitive): reachable from step() via the self-call above.
+        time.sleep(0.01)
+
+
+class ChattyAgent(SimulatedAgent):  # noqa: F821
+    def initialize(self):
+        # S2: console input directly in a dispatch entrypoint.
+        self.name = input()
+        return []
+
+
+class PatientAgent(SimulatedAgent):  # noqa: F821
+    def step(self, messages):
+        # Clean: waiting is expressed by returning.
+        return []
+
+    def dump_debug(self, path):
+        # Clean: file I/O in a harness-only helper no dispatch path calls.
+        with open(path) as handle:
+            return handle.read()

@@ -1,0 +1,38 @@
+# repro-lint: module=algorithms/fixture_s3.py
+"""Dirty and clean cross-agent aliasing cases for S3."""
+
+
+class TallyAgent(SimulatedAgent):  # noqa: F821 — name-based closure
+    def __init__(self, agent_id, tally):
+        super().__init__(agent_id)
+        self.tally = tally
+
+    def step(self, messages):
+        self.tally.append(self.id)
+        return []
+
+
+class LogAgent(SimulatedAgent):  # noqa: F821
+    def __init__(self, agent_id, log_factory):
+        super().__init__(agent_id)
+        # Clean: the factory hands each agent its own private log.
+        self.log = log_factory(agent_id)
+
+    def step(self, messages):
+        self.log.append(self.id)
+        return []
+
+
+def build_shared(problem):
+    tally = []
+    agents = []
+    for agent_id in problem.agents:
+        agents.append(TallyAgent(agent_id, tally))  # S3: one tally, N agents
+    return agents
+
+
+def build_private(problem, log_factory):
+    agents = []
+    for agent_id in problem.agents:
+        agents.append(LogAgent(agent_id, log_factory))  # clean
+    return agents

@@ -1,0 +1,26 @@
+# repro-lint: module=runtime/fixture_s4.py
+"""Dirty and clean host-dependent ordering cases for S4."""
+from heapq import heappush
+
+
+def rank_by_identity(nogoods):
+    return sorted(nogoods, key=id)  # S4: id() differs per process
+
+
+def tiebreak_by_hash(queue, item):
+    # S4: unseeded str hash differs per interpreter (PYTHONHASHSEED).
+    heappush(queue, (hash(str(item)), item))
+
+
+def feed_heap_from_dict(queue, table):
+    for key, value in table.items():  # S4: insertion order per replica
+        heappush(queue, value)
+
+
+def rank_stable(nogoods):
+    return sorted(nogoods, key=stable_nogood_key)  # noqa: F821 — clean
+
+
+def feed_heap_sorted(queue, table):
+    for key in sorted(table):  # clean: explicit total order
+        heappush(queue, (key, table[key]))

@@ -1,0 +1,12 @@
+# repro-lint: module=algorithms/fixture_s5.py
+"""Protocol-conformance violations for S5 (the balanced twin lives in
+``s5_protocol_clean.py`` — the family is module-wide, so a clean class
+here would balance the protocol and silence the findings)."""
+
+
+class HalfDuplexAgent(SimulatedAgent):  # noqa: F821 — name-based closure
+    def step(self, messages):
+        for message in messages:
+            if isinstance(message, PongMessage):  # noqa: F821 — S5: never sent
+                self.last = message
+        return [(1, PingMessage(self.id))]  # noqa: F821 — S5: never handled

@@ -1,0 +1,23 @@
+# repro-lint: module=algorithms/fixture_s5_clean.py
+"""The balanced counterpart of ``s5_protocol.py``: every emitted type is
+handled and every handled type is emitted somewhere in the family."""
+
+
+class EchoAgent(SimulatedAgent):  # noqa: F821 — name-based closure
+    def step(self, messages):
+        outgoing = []
+        for message in messages:
+            if isinstance(message, PingMessage):  # noqa: F821
+                outgoing.append((message.sender, PongMessage(self.id)))  # noqa: F821
+        return outgoing
+
+
+class ProbeAgent(SimulatedAgent):  # noqa: F821
+    def initialize(self):
+        return [(1, PingMessage(self.id))]  # noqa: F821
+
+    def step(self, messages):
+        for message in messages:
+            if isinstance(message, PongMessage):  # noqa: F821
+                self.seen = message
+        return []

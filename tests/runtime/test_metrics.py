@@ -83,3 +83,56 @@ class TestGenerationAccounting:
         metrics.record_generation(0, Nogood.of((1, 0), (2, 1)))
         same_content = Nogood.of((2, 1), (1, 0))
         assert metrics.record_generation(0, same_content) is True
+
+
+class TestGenerationLog:
+    """Per-agent logs drained at cycle boundaries must reproduce the
+    counters that immediate ``record_generation`` calls would produce,
+    because the engines activate agents in sorted-id order."""
+
+    def test_log_accounting_matches_immediate_recording(self):
+        sequence = [
+            (2, Nogood.of((1, 0))),
+            (0, Nogood.of((2, 1), (3, 0))),
+            (1, Nogood.of((1, 0))),       # redundant with agent 2's
+            (0, Nogood.of((2, 1), (3, 0))),  # redundant with its own
+            (2, Nogood.of((4, 2))),
+        ]
+
+        immediate = MetricsCollector()
+        for agent_id, nogood in sorted(sequence, key=lambda e: e[0]):
+            immediate.record_generation(agent_id, nogood)
+
+        logged = MetricsCollector()
+        for agent_id, nogood in sequence:
+            logged.generation_log_for(agent_id).record(nogood)
+        logged.end_cycle()
+
+        assert logged.generated_count == immediate.generated_count
+        assert (
+            logged.redundant_generations == immediate.redundant_generations
+        )
+
+    def test_drain_is_idempotent(self):
+        metrics = MetricsCollector()
+        metrics.generation_log_for(0).record(Nogood.of((1, 0)))
+        metrics.end_cycle()
+        before = metrics.generated_count
+        metrics.end_cycle()
+        assert metrics.generated_count == before == 1
+
+    def test_counters_drain_on_read(self):
+        metrics = MetricsCollector()
+        metrics.generation_log_for(0).record(Nogood.of((1, 0)))
+        metrics.generation_log_for(1).record(Nogood.of((1, 0)))
+        # No end_cycle yet: the properties still see the pending events.
+        assert metrics.generated_count == 2
+        assert metrics.redundant_generations == 1
+
+    def test_handlers_sharing_an_agent_share_one_log(self):
+        metrics = MetricsCollector()
+        assert metrics.generation_log_for(5) is metrics.generation_log_for(5)
+        assert (
+            metrics.generation_log_for(5)
+            is not metrics.generation_log_for(6)
+        )

@@ -124,3 +124,46 @@ class TestBenchSmokeShim:
         result = run_bench_smoke(tmp_path, "--axis", "bogus")
         assert result.returncode == 2, result.stdout + result.stderr
         assert "invalid choice" in result.stderr
+
+
+class TestBenchSmokeForwarding:
+    """The shim forwards every argument verbatim — it parses nothing."""
+
+    @pytest.fixture()
+    def shim_module(self):
+        script = TOOL.parent / "bench_smoke.py"
+        spec = importlib.util.spec_from_file_location("bench_smoke", script)
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        return module
+
+    def test_forward_defaults_to_process_argv(self, shim_module, monkeypatch):
+        seen = []
+        monkeypatch.setattr(shim_module, "main", lambda argv: seen.append(argv) or 0)
+        monkeypatch.setattr(sys, "argv", ["bench_smoke.py", "--axis", "lint", "--gate"])
+        assert shim_module.forward() == 0
+        assert seen == [["--axis", "lint", "--gate"]]
+
+    def test_forward_hands_unknown_flags_to_bench_unchanged(
+        self, shim_module, monkeypatch
+    ):
+        # A flag the shim has never heard of reaches bench's parser as-is;
+        # bench (not the shim) decides it is a usage error.
+        seen = []
+        monkeypatch.setattr(shim_module, "main", lambda argv: seen.append(argv) or 0)
+        assert shim_module.forward(["--some-future-flag", "7"]) == 0
+        assert seen == [["--some-future-flag", "7"]]
+
+    def test_gate_flag_reaches_bench(self, tmp_path):
+        # --gate with an unreadable baseline proves the flag survived the
+        # shim: only bench's gate logic knows this failure mode.
+        out = tmp_path / "lint.json"
+        result = run_bench_smoke(
+            tmp_path,
+            "--axis", "lint",
+            "--output", str(out),
+            "--gate", str(tmp_path / "missing-baseline.json"),
+        )
+        assert result.returncode == 1, result.stdout + result.stderr
+        assert "gate baseline" in result.stdout
+        assert "does not exist" in result.stdout
